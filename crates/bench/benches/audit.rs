@@ -1,0 +1,49 @@
+//! End-to-end audit costs on a simulated chain: chain indexing, PPE,
+//! attribution, and the differential-prioritization test.
+
+use cn_core::ppe::chain_ppe;
+use cn_core::prioritization::differential_prioritization;
+use cn_core::self_interest::find_self_interest_transactions;
+use cn_core::{attribute, ChainIndex};
+use cn_sim::{Scenario, World};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_audit(c: &mut Criterion) {
+    // One moderate simulation reused by all audit benches.
+    let mut scenario = Scenario::base("audit-bench", 31);
+    scenario.duration = 3 * 3_600;
+    scenario.params.max_block_weight = 400_000;
+    scenario.congestion = cn_sim::profile::CongestionProfile::flat(1.2);
+    scenario.self_interest_rate = 0.01;
+    let sim = World::new(scenario).run();
+    let index = ChainIndex::build(&sim.chain);
+    let attribution = attribute(&index);
+    let c_txids = sim.truth.self_interest_txids(&sim.pool_names[0]);
+
+    let mut group = c.benchmark_group("audit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.bench_function("chain_index_build", |b| {
+        b.iter(|| black_box(ChainIndex::build(black_box(&sim.chain))))
+    });
+    group.bench_function("chain_ppe", |b| b.iter(|| black_box(chain_ppe(black_box(&index)))));
+    group.bench_function("attribution", |b| b.iter(|| black_box(attribute(black_box(&index)))));
+    group.bench_function("self_interest_replay", |b| {
+        b.iter(|| black_box(find_self_interest_transactions(&sim.chain, &attribution)))
+    });
+    group.bench_function("differential_test", |b| {
+        b.iter(|| {
+            black_box(differential_prioritization(
+                black_box(&index),
+                black_box(&c_txids),
+                &sim.pool_names[0],
+                0.4,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--quick] all
+//! experiments [--quick] table2 fig7 ...
+//! experiments --list
+//! ```
+//!
+//! Output is printed and mirrored to `results/<id>.txt`.
+
+use cn_bench::{run_experiment, Lab, ALL_IDS};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut ids: Vec<String> =
+        args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    let lab = if quick { Lab::quick() } else { Lab::full() };
+    let _ = std::fs::create_dir_all("results");
+    let mut failed = false;
+    for id in &ids {
+        let started = Instant::now();
+        match run_experiment(id, &lab) {
+            Some(report) => {
+                println!("==================== {id} ====================");
+                println!("{report}");
+                println!("[{id} took {:.1?}]", started.elapsed());
+                match std::fs::File::create(format!("results/{id}.txt")) {
+                    Ok(mut f) => {
+                        let _ = f.write_all(report.as_bytes());
+                    }
+                    Err(e) => eprintln!("warning: could not write results/{id}.txt: {e}"),
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id} (use --list)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

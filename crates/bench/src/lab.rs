@@ -1,0 +1,64 @@
+//! The lab: runs each dataset scenario at most once per process and
+//! shares the outputs (plus their chain indexes) across experiments.
+
+use cn_core::ChainIndex;
+use cn_data::{dataset_a, dataset_b, dataset_c, Scale};
+use cn_sim::{SimOutput, World};
+use std::sync::OnceLock;
+
+/// Lazily simulated datasets plus derived indexes.
+pub struct Lab {
+    scale: Scale,
+    a: OnceLock<(SimOutput, ChainIndex)>,
+    b: OnceLock<(SimOutput, ChainIndex)>,
+    c: OnceLock<(SimOutput, ChainIndex)>,
+}
+
+impl Lab {
+    /// A lab at the given scale.
+    pub fn new(scale: Scale) -> Lab {
+        Lab { scale, a: OnceLock::new(), b: OnceLock::new(), c: OnceLock::new() }
+    }
+
+    /// Hours-scale lab for tests.
+    pub fn quick() -> Lab {
+        Lab::new(Scale::Quick)
+    }
+
+    /// Days-scale lab for the experiment harness.
+    pub fn full() -> Lab {
+        Lab::new(Scale::Full)
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Dataset 𝒜's output and index (simulated on first use).
+    pub fn a(&self) -> &(SimOutput, ChainIndex) {
+        self.a.get_or_init(|| {
+            let out = World::new(dataset_a(self.scale)).run();
+            let index = ChainIndex::build(&out.chain);
+            (out, index)
+        })
+    }
+
+    /// Dataset ℬ's output and index.
+    pub fn b(&self) -> &(SimOutput, ChainIndex) {
+        self.b.get_or_init(|| {
+            let out = World::new(dataset_b(self.scale)).run();
+            let index = ChainIndex::build(&out.chain);
+            (out, index)
+        })
+    }
+
+    /// Dataset 𝒞's output and index.
+    pub fn c(&self) -> &(SimOutput, ChainIndex) {
+        self.c.get_or_init(|| {
+            let out = World::new(dataset_c(self.scale)).run();
+            let index = ChainIndex::build(&out.chain);
+            (out, index)
+        })
+    }
+}

@@ -1,0 +1,297 @@
+//! An append-only, validated chain of blocks.
+
+use crate::amount::Amount;
+use crate::block::{Block, BlockHash};
+use crate::params::Params;
+use crate::transaction::Txid;
+use crate::utxo::UtxoSet;
+use crate::validation::{connect_block, ValidationError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from extending a [`Chain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// The block's `prev_hash` does not match the current tip.
+    WrongParent {
+        /// The tip the block should have extended.
+        expected: BlockHash,
+        /// The parent it actually names.
+        actual: BlockHash,
+    },
+    /// The block failed validation.
+    Invalid(ValidationError),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::WrongParent { expected, actual } => {
+                write!(f, "block extends {actual}, tip is {expected}")
+            }
+            ChainError::Invalid(e) => write!(f, "invalid block: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<ValidationError> for ChainError {
+    fn from(e: ValidationError) -> Self {
+        ChainError::Invalid(e)
+    }
+}
+
+/// Per-block bookkeeping the audit pipeline consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// The block's hash.
+    pub hash: BlockHash,
+    /// Fees collected from body transactions.
+    pub fees: Amount,
+    /// Each body transaction's fee, in block order — what the ordering
+    /// audit ranks by.
+    pub tx_fees: Vec<Amount>,
+    /// Subsidy available at this height.
+    pub subsidy: Amount,
+}
+
+/// A single-branch, fully validated blockchain with txid and height indexes.
+///
+/// Reorgs are out of scope: the audit operates on the confirmed main chain,
+/// exactly as the paper's datasets do.
+#[derive(Clone, Debug, Default)]
+pub struct Chain {
+    params: Params,
+    blocks: Vec<Block>,
+    records: Vec<BlockRecord>,
+    by_hash: HashMap<BlockHash, u64>,
+    tx_index: HashMap<Txid, u64>,
+    utxos: UtxoSet,
+    seeds: Vec<crate::transaction::Transaction>,
+}
+
+impl Chain {
+    /// Creates an empty chain with the given parameters.
+    pub fn new(params: Params) -> Chain {
+        Chain { params, ..Chain::default() }
+    }
+
+    /// The chain parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Number of blocks.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// True when no blocks have been connected.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Hash of the tip block, or the zero hash for an empty chain.
+    pub fn tip_hash(&self) -> BlockHash {
+        self.blocks.last().map_or(BlockHash::ZERO, |b| b.block_hash())
+    }
+
+    /// All blocks in height order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Per-block records in height order.
+    pub fn records(&self) -> &[BlockRecord] {
+        &self.records
+    }
+
+    /// The block at `height`.
+    pub fn block_at(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Looks up a block by hash.
+    pub fn block_by_hash(&self, hash: &BlockHash) -> Option<&Block> {
+        self.by_hash.get(hash).and_then(|&h| self.block_at(h))
+    }
+
+    /// The height of the block containing `txid`, if confirmed.
+    pub fn height_of_tx(&self, txid: &Txid) -> Option<u64> {
+        self.tx_index.get(txid).copied()
+    }
+
+    /// True when `txid` is confirmed anywhere in the chain.
+    pub fn contains_tx(&self, txid: &Txid) -> bool {
+        self.tx_index.contains_key(txid)
+    }
+
+    /// The current UTXO set.
+    pub fn utxos(&self) -> &UtxoSet {
+        &self.utxos
+    }
+
+    /// Seeds the UTXO set with the outputs of a funding transaction without
+    /// putting it in a block — the simulator's stand-in for coins that
+    /// predate the observation window. Seeds are remembered so auditors
+    /// can replay the chain from its initial state.
+    pub fn seed_utxos(&mut self, tx: &crate::transaction::Transaction) {
+        self.utxos.insert_outputs(tx);
+        self.seeds.push(tx.clone());
+    }
+
+    /// The funding transactions seeded before any block, for replay.
+    pub fn seeded_transactions(&self) -> &[crate::transaction::Transaction] {
+        &self.seeds
+    }
+
+    /// Reconstructs the UTXO set as it stood before the first block.
+    pub fn initial_utxos(&self) -> UtxoSet {
+        let mut set = UtxoSet::new();
+        for tx in &self.seeds {
+            set.insert_outputs(tx);
+        }
+        set
+    }
+
+    /// Validates and appends `block` at the tip.
+    pub fn connect(&mut self, block: Block) -> Result<&BlockRecord, ChainError> {
+        let expected = self.tip_hash();
+        if block.header.prev_hash != expected {
+            return Err(ChainError::WrongParent { expected, actual: block.header.prev_hash });
+        }
+        let height = self.height();
+        let tx_fees = connect_block(&block, &mut self.utxos, height, &self.params)?;
+        let fees: Amount = tx_fees.iter().copied().sum();
+        let hash = block.block_hash();
+        for tx in &block.transactions {
+            self.tx_index.insert(tx.txid(), height);
+        }
+        self.by_hash.insert(hash, height);
+        self.records.push(BlockRecord {
+            height,
+            hash,
+            fees,
+            tx_fees,
+            subsidy: self.params.subsidy_at(height),
+        });
+        self.blocks.push(block);
+        Ok(self.records.last().expect("just pushed"))
+    }
+
+    /// Total fees collected across all blocks.
+    pub fn total_fees(&self) -> Amount {
+        self.records.iter().map(|r| r.fees).sum()
+    }
+
+    /// Count of blocks with no user transactions.
+    pub fn empty_block_count(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_empty_block()).count()
+    }
+
+    /// Total number of confirmed non-coinbase transactions.
+    pub fn body_tx_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.body().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::coinbase::CoinbaseBuilder;
+    use crate::transaction::{OutPoint, Transaction, TxIn};
+
+    fn coinbase(height: u64) -> Transaction {
+        CoinbaseBuilder::new(height)
+            .reward(Address::from_label("pool"), Amount::from_btc(50))
+            .extra_nonce(height)
+            .build()
+    }
+
+    fn extend(chain: &mut Chain, body: Vec<Transaction>) -> BlockHash {
+        let h = chain.height();
+        let block =
+            Block::assemble(2, chain.tip_hash(), h * 600, h as u32, coinbase(h), body);
+        let hash = block.block_hash();
+        chain.connect(block).expect("valid block");
+        hash
+    }
+
+    #[test]
+    fn genesis_then_children_connect() {
+        let mut chain = Chain::new(Params::mainnet());
+        let g = extend(&mut chain, vec![]);
+        let b1 = extend(&mut chain, vec![]);
+        assert_eq!(chain.height(), 2);
+        assert_eq!(chain.tip_hash(), b1);
+        assert_eq!(chain.block_by_hash(&g).expect("genesis").header.prev_hash, BlockHash::ZERO);
+        assert_eq!(chain.empty_block_count(), 2);
+    }
+
+    #[test]
+    fn wrong_parent_rejected() {
+        let mut chain = Chain::new(Params::mainnet());
+        extend(&mut chain, vec![]);
+        let orphan = Block::assemble(2, BlockHash::ZERO, 0, 99, coinbase(1), vec![]);
+        assert!(matches!(chain.connect(orphan), Err(ChainError::WrongParent { .. })));
+    }
+
+    #[test]
+    fn tx_index_tracks_heights() {
+        let mut chain = Chain::new(Params::mainnet());
+        let fund = Transaction::builder()
+            .add_input(TxIn::new(OutPoint::NULL))
+            .pay_to(Address::from_label("funder"), Amount::from_sat(500_000))
+            .build();
+        chain.seed_utxos(&fund);
+        extend(&mut chain, vec![]);
+        let spend = Transaction::builder()
+            .add_input_with_sizes(fund.txid(), 0, 107, 0)
+            .pay_to(Address::from_label("r"), Amount::from_sat(400_000))
+            .build();
+        let txid = spend.txid();
+        extend(&mut chain, vec![spend]);
+        assert_eq!(chain.height_of_tx(&txid), Some(1));
+        assert!(chain.contains_tx(&txid));
+        assert_eq!(chain.body_tx_count(), 1);
+        assert_eq!(chain.total_fees(), Amount::from_sat(100_000));
+    }
+
+    #[test]
+    fn invalid_block_does_not_advance_chain() {
+        let mut chain = Chain::new(Params::mainnet());
+        extend(&mut chain, vec![]);
+        let bad_spend = Transaction::builder()
+            .add_input_with_sizes([0xaa; 32].into(), 0, 107, 0)
+            .pay_to(Address::from_label("x"), Amount::from_sat(1))
+            .build();
+        let block = Block::assemble(2, chain.tip_hash(), 600, 1, coinbase(1), vec![bad_spend]);
+        assert!(chain.connect(block).is_err());
+        assert_eq!(chain.height(), 1);
+    }
+
+    #[test]
+    fn records_carry_subsidy_schedule() {
+        let mut params = Params::mainnet();
+        params.halving_interval = 2;
+        let mut chain = Chain::new(params);
+        for _ in 0..4 {
+            let h = chain.height();
+            let cb = CoinbaseBuilder::new(h)
+                .reward(Address::from_label("p"), chain.params().subsidy_at(h))
+                .extra_nonce(h)
+                .build();
+            let block = Block::assemble(2, chain.tip_hash(), h * 600, h as u32, cb, vec![]);
+            chain.connect(block).expect("valid");
+        }
+        let subsidies: Vec<u64> = chain.records().iter().map(|r| r.subsidy.to_sat()).collect();
+        assert_eq!(
+            subsidies,
+            vec![5_000_000_000, 5_000_000_000, 2_500_000_000, 2_500_000_000]
+        );
+    }
+}

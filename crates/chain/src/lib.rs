@@ -1,0 +1,67 @@
+//! # cn-chain — Bitcoin-like chain substrate
+//!
+//! This crate implements the on-chain data model the audit toolkit
+//! (`cn-core`) and the simulator (`cn-sim`) operate on: amounts,
+//! double-SHA-256 hashing, Bitcoin-style compact-size serialization,
+//! base58check addresses, transactions with BIP-141 weight/virtual-size
+//! accounting, merkle trees, blocks with coinbase pool markers, a UTXO set,
+//! and an append-only validated chain.
+//!
+//! The encoding follows Bitcoin's wire format closely enough that sizes,
+//! txids, and block hashes behave like the real system (collision-free,
+//! deterministic, size-dependent), which is what the ordering-audit metrics
+//! key on. Consensus features irrelevant to transaction *ordering* (script
+//! execution, signature checking, difficulty retargeting) are intentionally
+//! out of scope; see `DESIGN.md` for the substitution table.
+//!
+//! ```
+//! use cn_chain::{Amount, FeeRate, Transaction, TxOut, Address};
+//!
+//! let addr = Address::p2pkh([7u8; 20]);
+//! let tx = Transaction::builder()
+//!     .add_input_with_sizes([1u8; 32].into(), 0, 107, 0)
+//!     .add_output(TxOut::new(Amount::from_sat(50_000), addr.script_pubkey()))
+//!     .build();
+//! let fee = Amount::from_sat(1_200);
+//! let rate = FeeRate::from_fee_and_vsize(fee, tx.vsize());
+//! assert!(rate.sat_per_vbyte() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod amount;
+pub mod bech32;
+pub mod block;
+pub mod chain;
+pub mod coinbase;
+pub mod encode;
+pub mod feerate;
+pub mod hash;
+pub mod merkle;
+pub mod params;
+pub mod transaction;
+pub mod utxo;
+pub mod validation;
+
+pub use address::Address;
+pub use amount::Amount;
+pub use block::{Block, BlockHash, Header};
+pub use chain::{Chain, ChainError};
+pub use coinbase::{CoinbaseBuilder, PoolMarker};
+pub use encode::{Decodable, Encodable};
+pub use feerate::FeeRate;
+pub use hash::{sha256, sha256d, Hash256};
+pub use merkle::merkle_root;
+pub use params::Params;
+pub use transaction::{OutPoint, Transaction, TxIn, TxOut, Txid};
+pub use utxo::UtxoSet;
+pub use validation::ValidationError;
+
+/// Simulation time in seconds since the scenario epoch.
+///
+/// Every layer (mempool receipt times, block timestamps, snapshot clocks)
+/// shares this unit; there is no ambient wall-clock anywhere in the
+/// workspace.
+pub type Timestamp = u64;

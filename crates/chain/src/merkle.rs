@@ -1,0 +1,83 @@
+//! Bitcoin-style merkle trees over transaction ids.
+
+use crate::hash::{sha256d, Hash256};
+use crate::transaction::Txid;
+
+/// Computes the merkle root of a list of txids using Bitcoin's rule:
+/// pair up hashes, duplicating the last when the level is odd, and hash each
+/// concatenated pair with double SHA-256. An empty list yields the zero hash
+/// (only possible for a structurally invalid block, which validation rejects
+/// anyway since a block always has a coinbase).
+pub fn merkle_root(txids: &[Txid]) -> Hash256 {
+    if txids.is_empty() {
+        return Hash256::ZERO;
+    }
+    let mut level: Vec<Hash256> = txids.iter().map(|t| t.0).collect();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            let left = pair[0];
+            let right = *pair.last().expect("chunk non-empty");
+            let mut data = [0u8; 64];
+            data[..32].copy_from_slice(left.as_bytes());
+            data[32..].copy_from_slice(right.as_bytes());
+            next.push(sha256d(&data));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+
+    fn tid(n: u8) -> Txid {
+        Txid(sha256(&[n]))
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(merkle_root(&[]), Hash256::ZERO);
+    }
+
+    #[test]
+    fn single_tx_root_is_its_txid() {
+        let t = tid(1);
+        assert_eq!(merkle_root(&[t]), t.0);
+    }
+
+    #[test]
+    fn pair_is_hash_of_concatenation() {
+        let (a, b) = (tid(1), tid(2));
+        let mut data = [0u8; 64];
+        data[..32].copy_from_slice(a.0.as_bytes());
+        data[32..].copy_from_slice(b.0.as_bytes());
+        assert_eq!(merkle_root(&[a, b]), sha256d(&data));
+    }
+
+    #[test]
+    fn odd_level_duplicates_last() {
+        let (a, b, c) = (tid(1), tid(2), tid(3));
+        // Level 1: H(a||b), H(c||c); root: H(of those two).
+        let root3 = merkle_root(&[a, b, c]);
+        let root4 = merkle_root(&[a, b, c, c]);
+        assert_eq!(root3, root4);
+    }
+
+    #[test]
+    fn order_matters() {
+        let (a, b) = (tid(1), tid(2));
+        assert_ne!(merkle_root(&[a, b]), merkle_root(&[b, a]));
+    }
+
+    #[test]
+    fn deterministic_for_larger_sets() {
+        let txids: Vec<Txid> = (0u8..33).map(tid).collect();
+        assert_eq!(merkle_root(&txids), merkle_root(&txids));
+        let mut reversed = txids.clone();
+        reversed.reverse();
+        assert_ne!(merkle_root(&txids), merkle_root(&reversed));
+    }
+}

@@ -1,0 +1,106 @@
+//! Consensus and policy parameters.
+
+use crate::amount::Amount;
+use crate::feerate::FeeRate;
+use serde::{Deserialize, Serialize};
+
+/// Chain-wide consensus and default-policy parameters.
+///
+/// Defaults mirror Bitcoin mainnet where it matters for ordering studies:
+/// a 4,000,000-weight-unit block (1,000,000 vbytes — the paper's "1 MB"),
+/// a 50 BTC initial subsidy halving every 210,000 blocks, 600-second target
+/// spacing, and a 1 sat/vB default relay floor.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Params {
+    /// Maximum block weight in weight units.
+    pub max_block_weight: u64,
+    /// Initial block subsidy.
+    pub initial_subsidy: Amount,
+    /// Number of blocks between subsidy halvings.
+    pub halving_interval: u64,
+    /// Target seconds between blocks.
+    pub target_spacing_secs: u64,
+    /// Default minimum relay fee rate (norm III in the paper).
+    pub min_relay_fee_rate: FeeRate,
+    /// Reserved block weight for the coinbase transaction and header
+    /// overhead when assembling templates (Bitcoin Core reserves 4,000 WU).
+    pub coinbase_reserved_weight: u64,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params::mainnet()
+    }
+}
+
+impl Params {
+    /// Bitcoin-mainnet-like parameters.
+    pub fn mainnet() -> Params {
+        Params {
+            max_block_weight: 4_000_000,
+            initial_subsidy: Amount::from_btc(50),
+            halving_interval: 210_000,
+            target_spacing_secs: 600,
+            min_relay_fee_rate: FeeRate::MIN_RELAY,
+            coinbase_reserved_weight: 4_000,
+        }
+    }
+
+    /// Small-block parameters for fast tests (40,000 WU = 10,000 vbytes).
+    pub fn test() -> Params {
+        Params {
+            max_block_weight: 40_000,
+            initial_subsidy: Amount::from_btc(50),
+            halving_interval: 150,
+            target_spacing_secs: 600,
+            min_relay_fee_rate: FeeRate::MIN_RELAY,
+            coinbase_reserved_weight: 4_000,
+        }
+    }
+
+    /// Maximum block virtual size in vbytes.
+    pub fn max_block_vsize(&self) -> u64 {
+        self.max_block_weight / 4
+    }
+
+    /// The block subsidy at `height`, halving every `halving_interval`
+    /// blocks and reaching zero after 64 halvings (as in Bitcoin).
+    pub fn subsidy_at(&self, height: u64) -> Amount {
+        let halvings = height / self.halving_interval;
+        if halvings >= 64 {
+            return Amount::ZERO;
+        }
+        Amount::from_sat(self.initial_subsidy.to_sat() >> halvings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mainnet_vsize_is_one_megabyte() {
+        assert_eq!(Params::mainnet().max_block_vsize(), 1_000_000);
+    }
+
+    #[test]
+    fn subsidy_halves() {
+        let p = Params::mainnet();
+        assert_eq!(p.subsidy_at(0), Amount::from_btc(50));
+        assert_eq!(p.subsidy_at(209_999), Amount::from_btc(50));
+        assert_eq!(p.subsidy_at(210_000), Amount::from_btc(25));
+        assert_eq!(p.subsidy_at(630_000), Amount::from_sat(625_000_000)); // 6.25 BTC
+        assert_eq!(p.subsidy_at(64 * 210_000), Amount::ZERO);
+    }
+
+    #[test]
+    fn total_supply_below_21m() {
+        let p = Params::mainnet();
+        let mut total: u64 = 0;
+        for halving in 0..64u64 {
+            total += p.subsidy_at(halving * p.halving_interval).to_sat() * p.halving_interval;
+        }
+        assert!(total <= Amount::MAX_MONEY.to_sat());
+        assert!(total > Amount::MAX_MONEY.to_sat() - Amount::ONE_BTC.to_sat());
+    }
+}

@@ -1,0 +1,254 @@
+//! The unspent-transaction-output set, and fee computation.
+
+use crate::amount::Amount;
+use crate::block::Block;
+use crate::transaction::{OutPoint, Transaction, TxOut};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from applying transactions to the UTXO set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UtxoError {
+    /// An input referenced an unknown or already-spent output.
+    MissingInput(OutPoint),
+    /// Input value was smaller than output value (negative fee).
+    NegativeFee,
+    /// The same output was spent twice within the unit being applied.
+    DoubleSpend(OutPoint),
+}
+
+impl fmt::Display for UtxoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtxoError::MissingInput(op) => write!(f, "missing input {}:{}", op.txid, op.vout),
+            UtxoError::NegativeFee => write!(f, "outputs exceed inputs"),
+            UtxoError::DoubleSpend(op) => write!(f, "double spend of {}:{}", op.txid, op.vout),
+        }
+    }
+}
+
+impl std::error::Error for UtxoError {}
+
+/// An in-memory UTXO set.
+#[derive(Clone, Debug, Default)]
+pub struct UtxoSet {
+    utxos: HashMap<OutPoint, TxOut>,
+}
+
+impl UtxoSet {
+    /// Creates an empty set.
+    pub fn new() -> UtxoSet {
+        UtxoSet::default()
+    }
+
+    /// Number of unspent outputs.
+    pub fn len(&self) -> usize {
+        self.utxos.len()
+    }
+
+    /// True when no outputs are unspent.
+    pub fn is_empty(&self) -> bool {
+        self.utxos.is_empty()
+    }
+
+    /// Looks up an unspent output.
+    pub fn get(&self, outpoint: &OutPoint) -> Option<&TxOut> {
+        self.utxos.get(outpoint)
+    }
+
+    /// True when `outpoint` is unspent.
+    pub fn contains(&self, outpoint: &OutPoint) -> bool {
+        self.utxos.contains_key(outpoint)
+    }
+
+    /// Total input value of `tx` — the sum of values of the outputs it
+    /// spends. Fails if any input is not currently unspent.
+    pub fn input_value(&self, tx: &Transaction) -> Result<Amount, UtxoError> {
+        let mut total = Amount::ZERO;
+        for input in tx.inputs() {
+            let prev = self
+                .utxos
+                .get(&input.prevout)
+                .ok_or(UtxoError::MissingInput(input.prevout))?;
+            total = total
+                .checked_add(prev.value)
+                .ok_or(UtxoError::NegativeFee)?;
+        }
+        Ok(total)
+    }
+
+    /// The fee `tx` pays: input value minus output value.
+    pub fn fee(&self, tx: &Transaction) -> Result<Amount, UtxoError> {
+        let in_value = self.input_value(tx)?;
+        in_value
+            .checked_sub(tx.output_value())
+            .ok_or(UtxoError::NegativeFee)
+    }
+
+    /// Applies a non-coinbase transaction: consumes its inputs, inserts its
+    /// outputs. Validates spendability and non-negative fee first, so a
+    /// failed apply leaves the set untouched.
+    pub fn apply_tx(&mut self, tx: &Transaction) -> Result<Amount, UtxoError> {
+        let fee = self.fee(tx)?;
+        // Detect intra-tx double spends before mutating.
+        for (i, a) in tx.inputs().iter().enumerate() {
+            for b in &tx.inputs()[i + 1..] {
+                if a.prevout == b.prevout {
+                    return Err(UtxoError::DoubleSpend(a.prevout));
+                }
+            }
+        }
+        for input in tx.inputs() {
+            self.utxos.remove(&input.prevout);
+        }
+        self.insert_outputs(tx);
+        Ok(fee)
+    }
+
+    /// Inserts all outputs of `tx` (used for coinbases and initial funding).
+    pub fn insert_outputs(&mut self, tx: &Transaction) {
+        for (vout, output) in tx.outputs().iter().enumerate() {
+            self.utxos
+                .insert(OutPoint::new(tx.txid(), vout as u32), output.clone());
+        }
+    }
+
+    /// Applies a whole block in order (coinbase outputs inserted, body
+    /// transactions applied), returning the total fees collected.
+    ///
+    /// On error the set may be partially updated; block-level validation
+    /// (`crate::validation`) is expected to run on a clone or prior to
+    /// commitment.
+    pub fn apply_block(&mut self, block: &Block) -> Result<Amount, UtxoError> {
+        Ok(self.apply_block_detailed(block)?.into_iter().sum())
+    }
+
+    /// Like [`UtxoSet::apply_block`], but returns each body transaction's
+    /// fee in block order — the per-transaction record the ordering audit
+    /// needs.
+    pub fn apply_block_detailed(&mut self, block: &Block) -> Result<Vec<Amount>, UtxoError> {
+        if let Some(cb) = block.coinbase() {
+            self.insert_outputs(cb);
+        }
+        let mut fees = Vec::with_capacity(block.body().len());
+        for tx in block.body() {
+            fees.push(self.apply_tx(tx)?);
+        }
+        Ok(fees)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::block::BlockHash;
+    use crate::coinbase::CoinbaseBuilder;
+    use crate::transaction::Txid;
+
+    fn funding_tx(value: u64) -> Transaction {
+        Transaction::builder()
+            .add_input(crate::transaction::TxIn::new(OutPoint::NULL))
+            .pay_to(Address::from_label("funder"), Amount::from_sat(value))
+            .build()
+    }
+
+    fn spend(from: &Transaction, vout: u32, out_value: u64) -> Transaction {
+        Transaction::builder()
+            .add_input_with_sizes(from.txid(), vout, 107, 0)
+            .pay_to(Address::from_label("recipient"), Amount::from_sat(out_value))
+            .build()
+    }
+
+    #[test]
+    fn fee_is_inputs_minus_outputs() {
+        let mut set = UtxoSet::new();
+        let fund = funding_tx(100_000);
+        set.insert_outputs(&fund);
+        let tx = spend(&fund, 0, 90_000);
+        assert_eq!(set.fee(&tx), Ok(Amount::from_sat(10_000)));
+        assert_eq!(set.apply_tx(&tx), Ok(Amount::from_sat(10_000)));
+        assert!(!set.contains(&OutPoint::new(fund.txid(), 0)));
+        assert!(set.contains(&OutPoint::new(tx.txid(), 0)));
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let set = UtxoSet::new();
+        let tx = spend(&funding_tx(1), 0, 1);
+        assert!(matches!(set.fee(&tx), Err(UtxoError::MissingInput(_))));
+    }
+
+    #[test]
+    fn negative_fee_rejected_without_mutation() {
+        let mut set = UtxoSet::new();
+        let fund = funding_tx(100);
+        set.insert_outputs(&fund);
+        let tx = spend(&fund, 0, 200);
+        assert_eq!(set.apply_tx(&tx), Err(UtxoError::NegativeFee));
+        // Set untouched.
+        assert!(set.contains(&OutPoint::new(fund.txid(), 0)));
+    }
+
+    #[test]
+    fn double_spend_within_tx_rejected() {
+        let mut set = UtxoSet::new();
+        let fund = funding_tx(100_000);
+        set.insert_outputs(&fund);
+        let tx = Transaction::builder()
+            .add_input_with_sizes(fund.txid(), 0, 107, 0)
+            .add_input_with_sizes(fund.txid(), 0, 107, 0)
+            .pay_to(Address::from_label("r"), Amount::from_sat(100))
+            .build();
+        // fee() sums the same prevout twice, so apply must catch it.
+        assert!(matches!(set.apply_tx(&tx), Err(UtxoError::DoubleSpend(_))));
+    }
+
+    #[test]
+    fn sequential_double_spend_rejected() {
+        let mut set = UtxoSet::new();
+        let fund = funding_tx(100_000);
+        set.insert_outputs(&fund);
+        let tx1 = spend(&fund, 0, 90_000);
+        let tx2 = spend(&fund, 0, 80_000);
+        assert!(set.apply_tx(&tx1).is_ok());
+        assert!(matches!(set.apply_tx(&tx2), Err(UtxoError::MissingInput(_))));
+    }
+
+    #[test]
+    fn apply_block_collects_fees() {
+        let mut set = UtxoSet::new();
+        let fund1 = funding_tx(100_000);
+        let fund2 = Transaction::builder()
+            .add_input_with_sizes(Txid::from([9u8; 32]), 9, 1, 0)
+            .pay_to(Address::from_label("f2"), Amount::from_sat(50_000))
+            .build();
+        set.insert_outputs(&fund1);
+        set.insert_outputs(&fund2);
+        let t1 = spend(&fund1, 0, 95_000);
+        let t2 = spend(&fund2, 0, 49_000);
+        let cb = CoinbaseBuilder::new(1)
+            .reward(Address::from_label("pool"), Amount::from_btc(6))
+            .build();
+        let block = Block::assemble(2, BlockHash::ZERO, 0, 0, cb.clone(), vec![t1, t2]);
+        let fees = set.apply_block(&block).expect("valid block");
+        assert_eq!(fees, Amount::from_sat(6_000));
+        assert!(set.contains(&OutPoint::new(cb.txid(), 0)));
+    }
+
+    #[test]
+    fn chained_spend_within_block_is_valid() {
+        // CPFP shape: child spends parent's output inside the same block.
+        let mut set = UtxoSet::new();
+        let fund = funding_tx(100_000);
+        set.insert_outputs(&fund);
+        let parent = spend(&fund, 0, 90_000);
+        let child = spend(&parent, 0, 70_000);
+        let cb = CoinbaseBuilder::new(1)
+            .reward(Address::from_label("pool"), Amount::from_btc(6))
+            .build();
+        let block = Block::assemble(2, BlockHash::ZERO, 0, 0, cb, vec![parent, child]);
+        let fees = set.apply_block(&block).expect("valid block");
+        assert_eq!(fees, Amount::from_sat(10_000 + 20_000));
+    }
+}

@@ -1,0 +1,362 @@
+//! The one-call audit driver: runs the paper's full methodology over a
+//! chain and returns typed findings.
+//!
+//! Everything in this module is a composition of the lower-level pieces
+//! (`attribution`, `self_interest`, `prioritization`, `sppe`, `darkfee`,
+//! `ppe`); use those directly for custom studies, or this driver for the
+//! standard audit.
+
+use crate::attribution::{attribute, Attribution};
+use crate::darkfee::miner_tx_sppes;
+use crate::index::ChainIndex;
+use crate::ppe::ppe_by_miner;
+use crate::prioritization::{differential_prioritization, DifferentialTest};
+use crate::self_interest::find_self_interest_transactions;
+use crate::sppe::sppe_for_miner;
+use cn_chain::{Chain, Txid};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Audit parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AuditConfig {
+    /// Significance level for the binomial tests (the paper uses 0.001).
+    pub alpha: f64,
+    /// SPPE cutoff for flagging dark-fee-style placements (paper: 99 %;
+    /// scale it down with block size — percentile ranks in an `n`-tx block
+    /// cannot exceed `100·(n−1)/n`).
+    pub sppe_threshold: f64,
+    /// How many top pools (by block count) to test as miners and owners.
+    pub top_k: usize,
+    /// Minimum self-interest transaction count before an owner is tested
+    /// (tiny sets make the binomial test meaningless).
+    pub min_c_txs: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig { alpha: 0.001, sppe_threshold: 90.0, top_k: 10, min_c_txs: 10 }
+    }
+}
+
+/// One detected deviation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Finding {
+    /// A pool accelerates transactions touching its own wallets.
+    SelfAcceleration {
+        /// The pool.
+        miner: String,
+        /// The test behind the verdict.
+        test: DifferentialTest,
+        /// Mean SPPE of the transactions in the pool's blocks.
+        sppe: f64,
+    },
+    /// A pool accelerates another pool's transactions (collusion).
+    CollusiveAcceleration {
+        /// The accelerating pool.
+        miner: String,
+        /// The pool whose transactions benefit.
+        owner: String,
+        /// The test behind the verdict.
+        test: DifferentialTest,
+        /// Mean SPPE of the owner's transactions in the miner's blocks.
+        sppe: f64,
+    },
+    /// A pool's blocks contain suspiciously placed transactions (possible
+    /// dark-fee acceleration); counts only — confirming requires an
+    /// acceleration oracle.
+    DarkFeeSuspects {
+        /// The pool.
+        miner: String,
+        /// Transactions at or above the SPPE threshold.
+        suspects: Vec<Txid>,
+    },
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Finding::SelfAcceleration { miner, test, sppe } => write!(
+                f,
+                "{miner} accelerates its own transactions (x={}/{} blocks, p={:.2e}, SPPE {sppe:.1}%)",
+                test.x, test.y, test.p_accelerate
+            ),
+            Finding::CollusiveAcceleration { miner, owner, test, sppe } => write!(
+                f,
+                "{miner} accelerates {owner}'s transactions (x={}/{} blocks, p={:.2e}, SPPE {sppe:.1}%)",
+                test.x, test.y, test.p_accelerate
+            ),
+            Finding::DarkFeeSuspects { miner, suspects } => write!(
+                f,
+                "{miner} has {} suspiciously placed transactions (possible dark fees)",
+                suspects.len()
+            ),
+        }
+    }
+}
+
+/// The full audit output.
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// Pool attribution (blocks, wallets, hash rates).
+    pub attribution: Attribution,
+    /// Mean PPE per attributed pool.
+    pub mean_ppe_by_miner: Vec<(String, f64)>,
+    /// Detected deviations, strongest evidence first.
+    pub findings: Vec<Finding>,
+    /// The configuration used.
+    pub config: AuditConfig,
+}
+
+impl AuditReport {
+    /// True when no deviation was detected.
+    pub fn is_clean(&self) -> bool {
+        self.findings
+            .iter()
+            .all(|f| matches!(f, Finding::DarkFeeSuspects { suspects, .. } if suspects.is_empty()))
+    }
+
+    /// Findings concerning one pool.
+    pub fn findings_for(&self, miner: &str) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| match f {
+                Finding::SelfAcceleration { miner: m, .. }
+                | Finding::CollusiveAcceleration { miner: m, .. }
+                | Finding::DarkFeeSuspects { miner: m, .. } => m == miner,
+            })
+            .collect()
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit over {} blocks, {} attributed pools ({} unidentified blocks)",
+            self.attribution.total_blocks(),
+            self.attribution.pools.len(),
+            self.attribution.unidentified_blocks
+        );
+        for (miner, ppe) in &self.mean_ppe_by_miner {
+            let _ = writeln!(out, "  {miner}: mean PPE {ppe:.2}%");
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(out, "no deviations detected at alpha = {}", self.config.alpha);
+        } else {
+            let _ = writeln!(out, "findings:");
+            for finding in &self.findings {
+                let _ = writeln!(out, "  - {finding}");
+            }
+        }
+        out
+    }
+}
+
+/// Runs the standard audit: attribution, per-miner PPE, the §5.1/§5.2
+/// self-interest and collusion tests over the top pools, and the §5.4.2
+/// SPPE sweep.
+pub fn audit_chain(chain: &Chain, index: &ChainIndex, config: AuditConfig) -> AuditReport {
+    let attribution = attribute(index);
+    let self_map = find_self_interest_transactions(chain, &attribution);
+
+    // Per-miner PPE (Figure 7b).
+    let ppe = ppe_by_miner(index);
+    let mut mean_ppe_by_miner: Vec<(String, f64)> = attribution
+        .top(config.top_k)
+        .iter()
+        .filter_map(|p| {
+            ppe.get(&p.name).map(|values| {
+                (p.name.clone(), values.iter().sum::<f64>() / values.len().max(1) as f64)
+            })
+        })
+        .collect();
+    mean_ppe_by_miner.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite PPE"));
+
+    let mut findings = Vec::new();
+    // Differential prioritization of every top owner's transactions by
+    // every top miner.
+    for owner in attribution.top(config.top_k) {
+        let Some(c_txids) = self_map.of(&owner.name) else { continue };
+        if c_txids.len() < config.min_c_txs {
+            continue;
+        }
+        let c_txids: HashSet<Txid> = c_txids.clone();
+        for miner in attribution.top(config.top_k) {
+            let Some(theta0) = attribution.hash_rate(&miner.name) else { continue };
+            let test = differential_prioritization(index, &c_txids, &miner.name, theta0);
+            if !test.accelerates_at(config.alpha) {
+                continue;
+            }
+            let sppe = sppe_for_miner(index, &c_txids, &miner.name).unwrap_or(0.0);
+            if owner.name == miner.name {
+                findings.push(Finding::SelfAcceleration { miner: miner.name.clone(), test, sppe });
+            } else {
+                findings.push(Finding::CollusiveAcceleration {
+                    miner: miner.name.clone(),
+                    owner: owner.name.clone(),
+                    test,
+                    sppe,
+                });
+            }
+        }
+    }
+    // Dark-fee suspects per miner.
+    for miner in attribution.top(config.top_k) {
+        let suspects: Vec<Txid> = miner_tx_sppes(index, &miner.name)
+            .into_iter()
+            .filter(|(_, s)| *s >= config.sppe_threshold)
+            .map(|(t, _)| t)
+            .collect();
+        if !suspects.is_empty() {
+            findings.push(Finding::DarkFeeSuspects { miner: miner.name.clone(), suspects });
+        }
+    }
+    // Strongest statistical evidence first.
+    findings.sort_by(|a, b| {
+        let p = |f: &Finding| match f {
+            Finding::SelfAcceleration { test, .. }
+            | Finding::CollusiveAcceleration { test, .. } => test.p_accelerate,
+            Finding::DarkFeeSuspects { .. } => 1.0,
+        };
+        p(a).partial_cmp(&p(b)).expect("p-values finite")
+    });
+
+    AuditReport { attribution, mean_ppe_by_miner, findings, config }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_chain::{
+        Address, Amount, Block, BlockHash, CoinbaseBuilder, Params, PoolMarker, Transaction,
+    };
+
+    /// A chain where pool "Cheat" always tops its blocks with a transfer
+    /// from its own wallet at the lowest fee rate, while "Fair" follows
+    /// the norm. 10 Cheat blocks, 10 Fair blocks.
+    fn rigged_chain() -> (Chain, ChainIndex) {
+        let mut chain = Chain::new(Params::mainnet());
+        let cheat_wallet = Address::from_label("pool:Cheat:0");
+        // Seed enough funding outputs, including some to the cheat wallet.
+        let mut fund = Transaction::builder().add_input(cn_chain::TxIn::new(cn_chain::OutPoint::NULL));
+        for _ in 0..40 {
+            fund = fund.pay_to(Address::from_label("u"), Amount::from_sat(2_000_000));
+        }
+        for _ in 40..60 {
+            fund = fund.pay_to(cheat_wallet, Amount::from_sat(2_000_000));
+        }
+        let fund = fund.build();
+        chain.seed_utxos(&fund);
+
+        let mut user_vout = 0u32;
+        let mut cheat_vout = 40u32;
+        for h in 0..20u64 {
+            let cheating = h % 2 == 0;
+            let name = if cheating { "Cheat" } else { "Fair" };
+            let mut body = Vec::new();
+            let mut fees = Amount::ZERO;
+            if cheating {
+                // Own transfer first, lowest fee in the block.
+                let own = Transaction::builder()
+                    .add_input_with_sizes(fund.txid(), cheat_vout, 107, 0)
+                    .pay_to(Address::from_label("dest"), Amount::from_sat(1_999_000))
+                    .build();
+                cheat_vout += 1;
+                fees += Amount::from_sat(1_000);
+                body.push(own);
+            }
+            // Two well-paying user transactions.
+            for _ in 0..2 {
+                let tx = Transaction::builder()
+                    .add_input_with_sizes(fund.txid(), user_vout, 107, 0)
+                    .pay_to(Address::from_label("r"), Amount::from_sat(1_900_000))
+                    .build();
+                user_vout += 1;
+                fees += Amount::from_sat(100_000);
+                body.push(tx);
+            }
+            let cb = CoinbaseBuilder::new(h)
+                .marker(PoolMarker::new(format!("/{name}/")))
+                .reward(
+                    if cheating { cheat_wallet } else { Address::from_label("pool:Fair:0") },
+                    Amount::from_btc(50) + fees,
+                )
+                .extra_nonce(h)
+                .build();
+            let block = Block::assemble(2, chain.tip_hash(), h * 600, h as u32, cb, body);
+            chain.connect(block).expect("valid");
+        }
+        let index = ChainIndex::build(&chain);
+        (chain, index)
+    }
+
+    #[test]
+    fn audit_flags_exactly_the_cheater() {
+        let (chain, index) = rigged_chain();
+        let config = AuditConfig { alpha: 0.01, sppe_threshold: 30.0, top_k: 5, min_c_txs: 3 };
+        let report = audit_chain(&chain, &index, config);
+        assert!(!report.is_clean());
+        // Cheat must be flagged for self-acceleration.
+        let cheat_findings = report.findings_for("Cheat");
+        assert!(
+            cheat_findings
+                .iter()
+                .any(|f| matches!(f, Finding::SelfAcceleration { sppe, .. } if *sppe > 20.0)),
+            "findings: {:?}",
+            report.findings
+        );
+        // Fair must have no acceleration finding.
+        assert!(report
+            .findings_for("Fair")
+            .iter()
+            .all(|f| matches!(f, Finding::DarkFeeSuspects { .. })));
+        // The render mentions the cheater.
+        assert!(report.render().contains("Cheat"));
+    }
+
+    #[test]
+    fn clean_chain_audits_clean() {
+        // All-Fair variant: reuse the rigged chain's Fair blocks only by
+        // auditing with a huge alpha-proof threshold instead: simpler —
+        // build a 6-block honest chain.
+        let mut chain = Chain::new(Params::mainnet());
+        let mut fund = Transaction::builder().add_input(cn_chain::TxIn::new(cn_chain::OutPoint::NULL));
+        for _ in 0..12 {
+            fund = fund.pay_to(Address::from_label("u"), Amount::from_sat(2_000_000));
+        }
+        let fund = fund.build();
+        chain.seed_utxos(&fund);
+        for h in 0..6u64 {
+            let t1 = Transaction::builder()
+                .add_input_with_sizes(fund.txid(), (h * 2) as u32, 107, 0)
+                .pay_to(Address::from_label("a"), Amount::from_sat(1_800_000))
+                .build();
+            let t2 = Transaction::builder()
+                .add_input_with_sizes(fund.txid(), (h * 2 + 1) as u32, 107, 0)
+                .pay_to(Address::from_label("b"), Amount::from_sat(1_900_000))
+                .build();
+            let fees = Amount::from_sat(200_000 + 100_000);
+            let cb = CoinbaseBuilder::new(h)
+                .marker(PoolMarker::new("/Solo/"))
+                .reward(Address::from_label("pool:Solo:0"), Amount::from_btc(50) + fees)
+                .extra_nonce(h)
+                .build();
+            // Norm order: t1 (200k fee) vs t2 (100k): same size, t1 first.
+            let block = Block::assemble(2, chain.tip_hash(), h * 600, h as u32, cb, vec![t1, t2]);
+            chain.connect(block).expect("valid");
+        }
+        let index = ChainIndex::build(&chain);
+        let report = audit_chain(&chain, &index, AuditConfig::default());
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+        assert!(report.render().contains("no deviations"));
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = AuditConfig::default();
+        assert_eq!(c.alpha, 0.001);
+        assert_eq!(c.top_k, 10);
+    }
+}

@@ -1,0 +1,273 @@
+//! One replay of the chain into the per-transaction facts every audit
+//! metric consumes.
+
+use crate::cpfp::cpfp_txids_in_block;
+use cn_chain::{Address, Amount, BlockHash, Chain, FeeRate, PoolMarker, Timestamp, Txid};
+use std::collections::HashMap;
+
+/// Per-transaction audit facts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxRecord {
+    /// The transaction id.
+    pub txid: Txid,
+    /// Containing block height.
+    pub height: u64,
+    /// 0-based position within the block body.
+    pub position: usize,
+    /// The fee actually paid (from validated chain records).
+    pub fee: Amount,
+    /// Virtual size in vbytes.
+    pub vsize: u64,
+    /// True under the §E CPFP definition (spends an output created in the
+    /// same block).
+    pub is_cpfp: bool,
+}
+
+impl TxRecord {
+    /// Fee rate, the ranking key of the norms.
+    pub fn fee_rate(&self) -> FeeRate {
+        FeeRate::from_fee_and_vsize(self.fee, self.vsize)
+    }
+}
+
+/// Per-block audit facts.
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    /// Height.
+    pub height: u64,
+    /// Block hash.
+    pub hash: BlockHash,
+    /// Block timestamp.
+    pub time: Timestamp,
+    /// Attributed miner (coinbase marker tag, slashes trimmed), if any.
+    pub miner: Option<String>,
+    /// Coinbase reward addresses (the pool-wallet signal of Figure 8a).
+    pub coinbase_wallets: Vec<Address>,
+    /// Body transactions in block order.
+    pub txs: Vec<TxRecord>,
+}
+
+impl BlockInfo {
+    /// Number of body transactions.
+    pub fn tx_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True when the block committed no user transactions.
+    pub fn is_empty_block(&self) -> bool {
+        self.txs.is_empty()
+    }
+}
+
+/// The chain, digested for auditing.
+#[derive(Clone, Debug, Default)]
+pub struct ChainIndex {
+    blocks: Vec<BlockInfo>,
+    by_txid: HashMap<Txid, (u64, u32)>,
+}
+
+impl ChainIndex {
+    /// Builds the index from a validated chain.
+    ///
+    /// # Panics
+    /// Panics if the chain's per-block records disagree with its blocks —
+    /// impossible for a chain built through [`Chain::connect`].
+    pub fn build(chain: &Chain) -> ChainIndex {
+        let mut blocks = Vec::with_capacity(chain.blocks().len());
+        let mut by_txid = HashMap::new();
+        for (block, record) in chain.blocks().iter().zip(chain.records()) {
+            assert_eq!(
+                record.tx_fees.len(),
+                block.body().len(),
+                "chain record out of sync with block body"
+            );
+            let cpfp = cpfp_txids_in_block(block);
+            let miner = block
+                .coinbase()
+                .and_then(PoolMarker::from_coinbase)
+                .map(|m| m.0.trim_matches('/').to_string());
+            let coinbase_wallets = block
+                .coinbase()
+                .map(|cb| cb.output_addresses().collect())
+                .unwrap_or_default();
+            let mut txs = Vec::with_capacity(block.body().len());
+            for (position, (tx, fee)) in block.body().iter().zip(&record.tx_fees).enumerate() {
+                let txid = tx.txid();
+                by_txid.insert(txid, (record.height, position as u32));
+                txs.push(TxRecord {
+                    txid,
+                    height: record.height,
+                    position,
+                    fee: *fee,
+                    vsize: tx.vsize(),
+                    is_cpfp: cpfp.contains(&txid),
+                });
+            }
+            blocks.push(BlockInfo {
+                height: record.height,
+                hash: record.hash,
+                time: block.header.time,
+                miner,
+                coinbase_wallets,
+                txs,
+            });
+        }
+        ChainIndex { blocks, by_txid }
+    }
+
+    /// All blocks, by height.
+    pub fn blocks(&self) -> &[BlockInfo] {
+        &self.blocks
+    }
+
+    /// The block at `height`.
+    pub fn block(&self, height: u64) -> Option<&BlockInfo> {
+        self.blocks.get(height as usize)
+    }
+
+    /// Locates a confirmed transaction as `(height, position)`.
+    pub fn locate(&self, txid: &Txid) -> Option<(u64, u32)> {
+        self.by_txid.get(txid).copied()
+    }
+
+    /// The record of a confirmed transaction.
+    pub fn record(&self, txid: &Txid) -> Option<&TxRecord> {
+        let (h, p) = self.locate(txid)?;
+        self.blocks.get(h as usize).and_then(|b| b.txs.get(p as usize))
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the chain was empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Total body transactions.
+    pub fn tx_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.txs.len()).sum()
+    }
+
+    /// Fraction of body transactions that are CPFP (Table 1's
+    /// "percentage of CPFP-transactions").
+    pub fn cpfp_fraction(&self) -> f64 {
+        let total = self.tx_count();
+        if total == 0 {
+            return 0.0;
+        }
+        let cpfp: usize =
+            self.blocks.iter().map(|b| b.txs.iter().filter(|t| t.is_cpfp).count()).sum();
+        cpfp as f64 / total as f64
+    }
+
+    /// Count of empty blocks (Table 1).
+    pub fn empty_block_count(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_empty_block()).count()
+    }
+
+    /// Block timestamps in height order (monotone for simulated chains).
+    pub fn block_times(&self) -> Vec<Timestamp> {
+        self.blocks.iter().map(|b| b.time).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_chain::{Block, CoinbaseBuilder, Params, Transaction};
+
+    /// Builds a tiny two-block chain with a CPFP pair in block 1.
+    fn sample_chain() -> Chain {
+        let mut chain = Chain::new(Params::mainnet());
+        let fund = Transaction::builder()
+            .add_input(cn_chain::TxIn::new(cn_chain::OutPoint::NULL))
+            .pay_to(Address::from_label("funder"), Amount::from_sat(10_000_000))
+            .pay_to(Address::from_label("funder2"), Amount::from_sat(10_000_000))
+            .build();
+        chain.seed_utxos(&fund);
+
+        let cb0 = CoinbaseBuilder::new(0)
+            .marker(cn_chain::PoolMarker::new("/PoolA/"))
+            .reward(Address::from_label("pool:A:0"), Amount::from_btc(50))
+            .build();
+        let b0 = Block::assemble(2, BlockHash::ZERO, 600, 0, cb0, vec![]);
+        chain.connect(b0).expect("valid");
+
+        let parent = Transaction::builder()
+            .add_input_with_sizes(fund.txid(), 0, 107, 0)
+            .pay_to(Address::from_label("r"), Amount::from_sat(9_900_000))
+            .build();
+        let child = Transaction::builder()
+            .add_input_with_sizes(parent.txid(), 0, 107, 0)
+            .pay_to(Address::from_label("r2"), Amount::from_sat(9_700_000))
+            .build();
+        let other = Transaction::builder()
+            .add_input_with_sizes(fund.txid(), 1, 107, 0)
+            .pay_to(Address::from_label("r3"), Amount::from_sat(9_950_000))
+            .build();
+        let fees = Amount::from_sat(100_000 + 200_000 + 50_000);
+        let cb1 = CoinbaseBuilder::new(1)
+            .marker(cn_chain::PoolMarker::new("/PoolB/"))
+            .reward(Address::from_label("pool:B:0"), Amount::from_btc(50) + fees)
+            .build();
+        let b1 = Block::assemble(
+            2,
+            chain.tip_hash(),
+            1_200,
+            1,
+            cb1,
+            vec![parent, child, other],
+        );
+        chain.connect(b1).expect("valid");
+        chain
+    }
+
+    #[test]
+    fn index_captures_fees_positions_and_cpfp() {
+        let chain = sample_chain();
+        let index = ChainIndex::build(&chain);
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.tx_count(), 3);
+        assert_eq!(index.empty_block_count(), 1);
+
+        let b1 = index.block(1).expect("exists");
+        assert_eq!(b1.miner.as_deref(), Some("PoolB"));
+        assert_eq!(b1.time, 1_200);
+        assert_eq!(b1.txs[0].fee, Amount::from_sat(100_000));
+        assert_eq!(b1.txs[1].fee, Amount::from_sat(200_000));
+        assert_eq!(b1.txs[2].fee, Amount::from_sat(50_000));
+        assert!(!b1.txs[0].is_cpfp);
+        assert!(b1.txs[1].is_cpfp, "child spending same-block parent is CPFP");
+        assert!(!b1.txs[2].is_cpfp);
+        assert!((index.cpfp_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_and_record_agree() {
+        let chain = sample_chain();
+        let index = ChainIndex::build(&chain);
+        let b1 = index.block(1).expect("exists");
+        for (pos, tx) in b1.txs.iter().enumerate() {
+            assert_eq!(index.locate(&tx.txid), Some((1, pos as u32)));
+            let rec = index.record(&tx.txid).expect("present");
+            assert_eq!(rec.position, pos);
+            assert_eq!(rec.fee_rate(), FeeRate::from_fee_and_vsize(rec.fee, rec.vsize));
+        }
+        assert_eq!(index.locate(&Txid::from([0xee; 32])), None);
+    }
+
+    #[test]
+    fn attribution_fields_populated() {
+        let chain = sample_chain();
+        let index = ChainIndex::build(&chain);
+        assert_eq!(index.block(0).expect("b0").miner.as_deref(), Some("PoolA"));
+        assert_eq!(
+            index.block(0).expect("b0").coinbase_wallets,
+            vec![Address::from_label("pool:A:0")]
+        );
+        assert_eq!(index.block_times(), vec![600, 1_200]);
+    }
+}

@@ -1,0 +1,322 @@
+//! Violation-pair counting (§4.2.1, Figure 6).
+//!
+//! Given the observer's view — for each eventually confirmed transaction,
+//! its first-seen time `t`, fee rate `f`, and confirmation height `b` — a
+//! pair `(i, j)` *violates* the fee-rate selection norm when
+//!
+//! ```text
+//! t_i + ε < t_j   &&   f_i > f_j   &&   b_i > b_j
+//! ```
+//!
+//! i.e. transaction `i` was seen (ε-robustly) earlier and offered more,
+//! yet was committed later. The ε margin (the paper uses 10 s and 10 min)
+//! absorbs divergence between the observer's arrival order and the
+//! miners'.
+//!
+//! Counting is a 3-dimensional dominance problem; this module provides an
+//! `O(n²)` reference and an `O(n log² n)` offline divide-and-conquer
+//! (CDQ) counter over a Fenwick tree, plus the candidate-pair count
+//! (pairs where the norm makes a prediction at all) for normalization.
+
+use cn_chain::{FeeRate, Timestamp};
+
+/// One confirmed transaction as the pair analysis sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairObservation {
+    /// First time the observer saw the transaction.
+    pub received: Timestamp,
+    /// The fee rate it offered.
+    pub fee_rate: FeeRate,
+    /// The height of the block that finally committed it.
+    pub height: u64,
+}
+
+/// Violation-count result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct PairStats {
+    /// Pairs meeting all three violation conditions.
+    pub violating: u64,
+    /// Pairs meeting the time and fee conditions (the norm predicted an
+    /// order for these).
+    pub candidates: u64,
+    /// All unordered pairs, `n·(n−1)/2`.
+    pub total_pairs: u64,
+}
+
+impl PairStats {
+    /// Violating share of all pairs (the Figure 6 y-axis).
+    pub fn fraction_of_all(&self) -> f64 {
+        if self.total_pairs == 0 {
+            0.0
+        } else {
+            self.violating as f64 / self.total_pairs as f64
+        }
+    }
+
+    /// Violating share of pairs where the norm made a prediction.
+    pub fn fraction_of_candidates(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.violating as f64 / self.candidates as f64
+        }
+    }
+}
+
+/// Quadratic reference implementation (kept as the oracle for property
+/// tests and as the ablation baseline for the CDQ counter).
+pub fn count_violations_reference(obs: &[PairObservation], epsilon: u64) -> PairStats {
+    let n = obs.len() as u64;
+    let mut stats = PairStats { total_pairs: n * n.saturating_sub(1) / 2, ..PairStats::default() };
+    for i in obs {
+        for j in obs {
+            if i.received.saturating_add(epsilon) < j.received && i.fee_rate > j.fee_rate {
+                stats.candidates += 1;
+                if i.height > j.height {
+                    stats.violating += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// A Fenwick (binary indexed) tree over counts.
+#[derive(Clone, Debug)]
+struct Fenwick {
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Fenwick {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    /// Adds `delta` at 1-based index `i`.
+    fn add(&mut self, mut i: usize, delta: i64) {
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u64);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of indices `1..=i`.
+    fn prefix(&self, mut i: usize) -> u64 {
+        let mut acc = 0u64;
+        while i > 0 {
+            acc = acc.wrapping_add(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        acc
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Op {
+    /// Event time: `t + ε` for inserts, `t` for queries.
+    time: u64,
+    /// Queries sort before inserts at equal time (strict `<` semantics).
+    is_insert: bool,
+    fee: FeeRate,
+    /// 1-based compressed height rank.
+    height_rank: usize,
+}
+
+/// `O(n log² n)` divide-and-conquer violation counter.
+///
+/// The operation sequence interleaves *inserts* (transaction `i` becomes
+/// ε-eligible at `t_i + ε`) and *queries* (transaction `j` at `t_j` asks
+/// how many eligible transactions dominate it in fee and height). The
+/// recursion counts, for each query in the right half, the dominating
+/// inserts in the left half via a fee-ordered sweep over a Fenwick tree
+/// keyed by height rank.
+pub fn count_violations_cdq(obs: &[PairObservation], epsilon: u64) -> PairStats {
+    let n = obs.len() as u64;
+    let total_pairs = n * n.saturating_sub(1) / 2;
+    if obs.len() < 2 {
+        return PairStats { total_pairs, ..PairStats::default() };
+    }
+    // Compress heights to ranks 1..=k.
+    let mut heights: Vec<u64> = obs.iter().map(|o| o.height).collect();
+    heights.sort_unstable();
+    heights.dedup();
+    let rank = |h: u64| heights.partition_point(|&x| x < h) + 1; // 1-based
+
+    let mut ops: Vec<Op> = Vec::with_capacity(obs.len() * 2);
+    for o in obs {
+        ops.push(Op {
+            time: o.received.saturating_add(epsilon),
+            is_insert: true,
+            fee: o.fee_rate,
+            height_rank: rank(o.height),
+        });
+        ops.push(Op { time: o.received, is_insert: false, fee: o.fee_rate, height_rank: rank(o.height) });
+    }
+    // Queries first at equal time: `t_i + ε < t_j` is strict.
+    ops.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.is_insert.cmp(&b.is_insert)));
+
+    let mut fenwick = Fenwick::new(heights.len());
+    let mut violating = 0u64;
+    let mut candidates = 0u64;
+    cdq(&mut ops, &mut fenwick, &mut violating, &mut candidates);
+    PairStats { violating, candidates, total_pairs }
+}
+
+/// Counts cross-half dominances and recurses. `ops` is ordered by
+/// sequence time on entry and by fee (descending) on exit — the classic
+/// CDQ merge-sort structure.
+fn cdq(ops: &mut [Op], fenwick: &mut Fenwick, violating: &mut u64, candidates: &mut u64) {
+    if ops.len() <= 1 {
+        return;
+    }
+    let mid = ops.len() / 2;
+    let (left, right) = ops.split_at_mut(mid);
+    cdq(left, fenwick, violating, candidates);
+    cdq(right, fenwick, violating, candidates);
+    // Both halves are now sorted by fee descending. Sweep: for each query
+    // in the right half (in fee-descending order), first add all left
+    // inserts with strictly greater fee, then count height dominators.
+    let mut li = 0usize;
+    let mut added = 0u64;
+    for q in right.iter().filter(|o| !o.is_insert) {
+        while li < left.len() && left[li].fee > q.fee {
+            if left[li].is_insert {
+                fenwick.add(left[li].height_rank, 1);
+                added += 1;
+            }
+            li += 1;
+        }
+        *candidates += added;
+        *violating += added - fenwick.prefix(q.height_rank);
+    }
+    // Roll back the Fenwick for the parent call.
+    for op in left[..li].iter().filter(|o| o.is_insert) {
+        fenwick.add(op.height_rank, -1);
+    }
+    // Merge the halves by fee descending (manual merge keeps O(n log n)
+    // overall sort cost across the recursion).
+    let mut merged = Vec::with_capacity(left.len() + right.len());
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < left.len() && b < right.len() {
+        if left[a].fee >= right[b].fee {
+            merged.push(left[a]);
+            a += 1;
+        } else {
+            merged.push(right[b]);
+            b += 1;
+        }
+    }
+    merged.extend_from_slice(&left[a..]);
+    merged.extend_from_slice(&right[b..]);
+    ops.copy_from_slice(&merged);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(t: u64, rate: u64, h: u64) -> PairObservation {
+        PairObservation {
+            received: t,
+            fee_rate: FeeRate::from_sat_per_kvb(rate),
+            height: h,
+        }
+    }
+
+    #[test]
+    fn single_clear_violation() {
+        // i seen first with a better rate, yet confirmed later.
+        let data = [obs(0, 100, 5), obs(10, 50, 4)];
+        let stats = count_violations_reference(&data, 0);
+        assert_eq!(stats.violating, 1);
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(stats.total_pairs, 1);
+        assert_eq!(count_violations_cdq(&data, 0), stats);
+    }
+
+    #[test]
+    fn norm_respected_no_violation() {
+        let data = [obs(0, 100, 4), obs(10, 50, 5)];
+        let stats = count_violations_reference(&data, 0);
+        assert_eq!(stats.violating, 0);
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(count_violations_cdq(&data, 0), stats);
+    }
+
+    #[test]
+    fn epsilon_filters_close_arrivals() {
+        let data = [obs(0, 100, 5), obs(8, 50, 4)];
+        assert_eq!(count_violations_reference(&data, 0).violating, 1);
+        // With ε = 10, 0 + 10 < 8 is false: the pair is no longer decided.
+        assert_eq!(count_violations_reference(&data, 10).violating, 0);
+        assert_eq!(count_violations_cdq(&data, 10).violating, 0);
+    }
+
+    #[test]
+    fn strict_boundary_on_epsilon() {
+        // t_i + ε == t_j must NOT count.
+        let data = [obs(0, 100, 5), obs(10, 50, 4)];
+        assert_eq!(count_violations_reference(&data, 10).violating, 0);
+        assert_eq!(count_violations_cdq(&data, 10).violating, 0);
+        assert_eq!(count_violations_reference(&data, 9).violating, 1);
+        assert_eq!(count_violations_cdq(&data, 9).violating, 1);
+    }
+
+    #[test]
+    fn equal_fee_rates_never_counted() {
+        let data = [obs(0, 100, 5), obs(10, 100, 4)];
+        let stats = count_violations_reference(&data, 0);
+        assert_eq!(stats.candidates, 0);
+        assert_eq!(stats.violating, 0);
+        assert_eq!(count_violations_cdq(&data, 0), stats);
+    }
+
+    #[test]
+    fn same_block_is_not_a_violation() {
+        let data = [obs(0, 100, 5), obs(10, 50, 5)];
+        let stats = count_violations_reference(&data, 0);
+        assert_eq!(stats.violating, 0);
+        assert_eq!(stats.candidates, 1);
+        assert_eq!(count_violations_cdq(&data, 0), stats);
+    }
+
+    #[test]
+    fn fractions() {
+        let data = [obs(0, 100, 5), obs(10, 50, 4), obs(20, 10, 3)];
+        let stats = count_violations_reference(&data, 0);
+        assert_eq!(stats.total_pairs, 3);
+        assert_eq!(stats.violating, 3);
+        assert!((stats.fraction_of_all() - 1.0).abs() < 1e-12);
+        assert!((stats.fraction_of_candidates() - 1.0).abs() < 1e-12);
+        assert_eq!(PairStats::default().fraction_of_all(), 0.0);
+    }
+
+    #[test]
+    fn cdq_matches_reference_on_pseudorandom_data() {
+        // Deterministic pseudo-random stream via a simple LCG.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for n in [1usize, 2, 3, 10, 64, 257] {
+            let data: Vec<PairObservation> = (0..n)
+                .map(|_| obs(next() % 1_000, next() % 50, next() % 20))
+                .collect();
+            for eps in [0u64, 5, 50] {
+                let reference = count_violations_reference(&data, eps);
+                let cdq = count_violations_cdq(&data, eps);
+                assert_eq!(cdq, reference, "n={n} eps={eps}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(count_violations_cdq(&[], 0), PairStats::default());
+        let one = [obs(0, 10, 1)];
+        let stats = count_violations_cdq(&one, 0);
+        assert_eq!(stats.total_pairs, 0);
+        assert_eq!(stats.violating, 0);
+    }
+}

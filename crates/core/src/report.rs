@@ -1,0 +1,136 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; shorter rows are padded with empty cells.
+    pub fn row(&mut self, cells: &[String]) -> &mut Table {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a p-value the way the paper prints them (4 decimal places,
+/// scientific below 1e-4).
+pub fn fmt_p(p: f64) -> String {
+    if p == 0.0 || p >= 1e-4 {
+        format!("{p:.4}")
+    } else {
+        format!("{p:.1e}")
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Tabulates a CDF curve as `value cdf` pairs, one per line.
+pub fn fmt_cdf(curve: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    for (x, p) in curve {
+        let _ = writeln!(out, "{x:>14.6}  {p:>8.4}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["pool", "x", "p-value"]);
+        t.row(&["F2Pool".into(), "466".into(), "0.0000".into()]);
+        t.row(&["ViaBTC-with-long-name".into(), "7".into(), "1.0000".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("pool"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "x" column starts at the same offset in all rows.
+        let col = lines[2].find("466").expect("cell present");
+        assert_eq!(&lines[3][col..col + 1], "7");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only".into()]);
+        assert!(t.render().contains("only"));
+    }
+
+    #[test]
+    fn p_value_formats() {
+        assert_eq!(fmt_p(0.2856), "0.2856");
+        assert_eq!(fmt_p(0.0), "0.0000");
+        assert_eq!(fmt_p(3.2e-7), "3.2e-7");
+        assert_eq!(fmt_pct(0.6498), "64.98%");
+    }
+
+    #[test]
+    fn cdf_formatting() {
+        let s = fmt_cdf(&[(1.0, 0.5), (2.0, 1.0)]);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("0.5000"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Self-interest transaction identification (§5.2, Figure 8b).
+//!
+//! A transaction is a *self-interest* transaction of pool `P` when it
+//! moves coins **from** or **to** one of `P`'s wallets. Pool wallets come
+//! from coinbase reward outputs (`attribution`); detecting spends *from*
+//! them requires resolving every input's funding address, which this
+//! module does with one full UTXO replay of the chain.
+
+use crate::attribution::Attribution;
+use crate::index::ChainIndex;
+use cn_chain::{Address, Chain, Txid};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Transactions touching each pool's wallets.
+#[derive(Clone, Debug, Default)]
+pub struct SelfInterestMap {
+    /// Pool name → txids that send from or pay to its wallets.
+    pub by_pool: HashMap<String, HashSet<Txid>>,
+}
+
+impl SelfInterestMap {
+    /// The transactions of one pool.
+    pub fn of(&self, pool: &str) -> Option<&HashSet<Txid>> {
+        self.by_pool.get(pool)
+    }
+
+    /// Total transactions flagged across pools (a tx touching two pools'
+    /// wallets counts for both, as in the paper's per-pool counts).
+    pub fn total_flagged(&self) -> usize {
+        self.by_pool.values().map(|s| s.len()).sum()
+    }
+}
+
+/// Replays the chain once, classifying every body transaction against the
+/// pools' wallet inventories.
+pub fn find_self_interest_transactions(
+    chain: &Chain,
+    attribution: &Attribution,
+) -> SelfInterestMap {
+    // Wallet → pool lookup. A wallet observed for several pools (shared
+    // payout infrastructure, like BitDeer/BTC.com in the paper) maps to
+    // all of them.
+    let mut wallet_pools: HashMap<Address, Vec<String>> = HashMap::new();
+    for pool in &attribution.pools {
+        for &wallet in &pool.wallets {
+            wallet_pools.entry(wallet).or_default().push(pool.name.clone());
+        }
+    }
+
+    let mut utxos = chain.initial_utxos();
+    let mut map = SelfInterestMap::default();
+    for block in chain.blocks() {
+        if let Some(cb) = block.coinbase() {
+            utxos.insert_outputs(cb);
+        }
+        for tx in block.body() {
+            let mut touched: BTreeSet<&String> = BTreeSet::new();
+            for input in tx.inputs() {
+                if let Some(prev) = utxos.get(&input.prevout) {
+                    if let Some(addr) = prev.address() {
+                        if let Some(pools) = wallet_pools.get(&addr) {
+                            touched.extend(pools.iter());
+                        }
+                    }
+                }
+            }
+            for addr in tx.output_addresses() {
+                if let Some(pools) = wallet_pools.get(&addr) {
+                    touched.extend(pools.iter());
+                }
+            }
+            for pool in touched {
+                map.by_pool.entry(pool.clone()).or_default().insert(tx.txid());
+            }
+            // Advance the view; the chain was validated, so this succeeds.
+            utxos.apply_tx(tx).expect("validated chain replays cleanly");
+        }
+    }
+    map
+}
+
+/// Convenience: self-interest txids for one pool, given the chain and its
+/// attribution.
+pub fn self_interest_txids(
+    chain: &Chain,
+    index: &ChainIndex,
+    pool: &str,
+) -> HashSet<Txid> {
+    let attribution = crate::attribution::attribute(index);
+    find_self_interest_transactions(chain, &attribution)
+        .of(pool)
+        .cloned()
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::attribute;
+    use cn_chain::{
+        Amount, Block, BlockHash, CoinbaseBuilder, Params, PoolMarker, Transaction,
+    };
+
+    /// One pool mines two blocks; in block 1 someone pays the pool's
+    /// wallet, and the pool spends its block-0 reward.
+    fn build() -> (Chain, ChainIndex) {
+        let mut chain = Chain::new(Params::mainnet());
+        let fund = Transaction::builder()
+            .add_input(cn_chain::TxIn::new(cn_chain::OutPoint::NULL))
+            .pay_to(Address::from_label("user"), Amount::from_sat(5_000_000))
+            .pay_to(Address::from_label("user2"), Amount::from_sat(5_000_000))
+            .build();
+        chain.seed_utxos(&fund);
+        let pool_wallet = Address::from_label("pool:P:0");
+
+        // Block 0: P's coinbase reward to its wallet.
+        let cb0 = CoinbaseBuilder::new(0)
+            .marker(PoolMarker::new("/P/"))
+            .reward(pool_wallet, Amount::from_btc(50))
+            .build();
+        let cb0_txid = cb0.txid();
+        let b0 = Block::assemble(2, BlockHash::ZERO, 0, 0, cb0, vec![]);
+        chain.connect(b0).expect("valid");
+
+        // Block 1 (mined by Q): a user pays P's wallet (to-pool tx) and P
+        // spends its reward (from-pool tx); a third tx touches no pool.
+        let pay_to_pool = Transaction::builder()
+            .add_input_with_sizes(fund.txid(), 0, 107, 0)
+            .pay_to(pool_wallet, Amount::from_sat(4_000_000))
+            .build();
+        let spend_reward = Transaction::builder()
+            .add_input_with_sizes(cb0_txid, 0, 107, 0)
+            .pay_to(Address::from_label("exchange"), Amount::from_btc(49))
+            .build();
+        let unrelated = Transaction::builder()
+            .add_input_with_sizes(fund.txid(), 1, 107, 0)
+            .pay_to(Address::from_label("someone"), Amount::from_sat(4_900_000))
+            .build();
+        let fees = Amount::from_sat(1_000_000) + Amount::from_btc(1) + Amount::from_sat(100_000);
+        let cb1 = CoinbaseBuilder::new(1)
+            .marker(PoolMarker::new("/Q/"))
+            .reward(Address::from_label("pool:Q:0"), Amount::from_btc(50) + fees)
+            .build();
+        let b1 = Block::assemble(
+            2,
+            chain.tip_hash(),
+            600,
+            1,
+            cb1,
+            vec![pay_to_pool, spend_reward, unrelated],
+        );
+        chain.connect(b1).expect("valid");
+        let index = ChainIndex::build(&chain);
+        (chain, index)
+    }
+
+    #[test]
+    fn finds_from_and_to_pool_transactions() {
+        let (chain, index) = build();
+        let att = attribute(&index);
+        let map = find_self_interest_transactions(&chain, &att);
+        let p_txs = map.of("P").expect("pool P flagged");
+        assert_eq!(p_txs.len(), 2, "one to-pool and one from-pool tx");
+        // Q's wallet only ever received its own coinbase; no body tx
+        // touches it.
+        assert!(map.of("Q").is_none() || map.of("Q").expect("set").is_empty());
+    }
+
+    #[test]
+    fn unrelated_tx_not_flagged() {
+        let (chain, index) = build();
+        let att = attribute(&index);
+        let map = find_self_interest_transactions(&chain, &att);
+        let all: HashSet<Txid> = map.by_pool.values().flatten().copied().collect();
+        // Exactly the two pool-touching transactions, not the third.
+        assert_eq!(all.len(), 2);
+        assert_eq!(map.total_flagged(), 2);
+    }
+
+    #[test]
+    fn convenience_wrapper_matches() {
+        let (chain, index) = build();
+        let txids = self_interest_txids(&chain, &index, "P");
+        assert_eq!(txids.len(), 2);
+        assert!(self_interest_txids(&chain, &index, "Nobody").is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Mining-pool rosters with the paper's hash-rate shares.
+
+use cn_sim::scenario::{PoolBehavior, PoolConfig};
+
+/// A pool's roster entry before behaviours are attached.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoolSpec {
+    /// Pool name (as in the paper's figures).
+    pub name: &'static str,
+    /// Normalized hash-rate share (from Figure 2).
+    pub share: f64,
+    /// Reward wallets the pool rotates (Figure 8a: SlushPool used 56,
+    /// Poolin 23; most pools a handful — scaled down proportionally).
+    pub wallets: usize,
+}
+
+impl PoolSpec {
+    /// Converts to an honest scenario pool config.
+    pub fn honest(&self) -> PoolConfig {
+        PoolConfig::honest(self.name, self.share, self.wallets)
+    }
+
+    /// Converts with behaviours attached.
+    pub fn with(&self, behaviors: Vec<PoolBehavior>, accepts_low_fee: bool) -> PoolConfig {
+        let mut cfg = self.honest();
+        cfg.behaviors = behaviors;
+        cfg.accepts_low_fee = accepts_low_fee;
+        cfg
+    }
+}
+
+/// Dataset 𝒜's top pools (Feb–Mar 2019, §3): BTC.com 17.18 %, AntPool
+/// 12.79 %, F2Pool 11.29 %, Poolin 11.03 %, SlushPool 8.94 %, plus a tail
+/// standing in for the remaining operators.
+pub fn roster_2019_a() -> Vec<PoolSpec> {
+    vec![
+        PoolSpec { name: "BTC.com", share: 0.1718, wallets: 3 },
+        PoolSpec { name: "AntPool", share: 0.1279, wallets: 3 },
+        PoolSpec { name: "F2Pool", share: 0.1129, wallets: 4 },
+        PoolSpec { name: "Poolin", share: 0.1103, wallets: 8 },
+        PoolSpec { name: "SlushPool", share: 0.0894, wallets: 12 },
+        PoolSpec { name: "ViaBTC", share: 0.0700, wallets: 2 },
+        PoolSpec { name: "BTC.TOP", share: 0.0600, wallets: 2 },
+        PoolSpec { name: "Bitfury", share: 0.0400, wallets: 1 },
+        PoolSpec { name: "Huobi", share: 0.0380, wallets: 2 },
+        PoolSpec { name: "SpiderPool", share: 0.0300, wallets: 1 },
+        PoolSpec { name: "DPool", share: 0.0250, wallets: 1 },
+        PoolSpec { name: "BitClub", share: 0.0200, wallets: 1 },
+        PoolSpec { name: "Bixin", share: 0.0180, wallets: 1 },
+        PoolSpec { name: "WAYI.CN", share: 0.0150, wallets: 1 },
+        PoolSpec { name: "58COIN", share: 0.0130, wallets: 1 },
+        PoolSpec { name: "Rawpool", share: 0.0120, wallets: 1 },
+        PoolSpec { name: "Tangpool", share: 0.0100, wallets: 1 },
+        PoolSpec { name: "KanoPool", share: 0.0080, wallets: 1 },
+        PoolSpec { name: "Sigmapool", share: 0.0070, wallets: 1 },
+        PoolSpec { name: "SoloCK", share: 0.0060, wallets: 1 },
+    ]
+}
+
+/// Dataset ℬ's top pools (Jun 2019, §3): BTC.com 19.67 %, AntPool
+/// 12.77 %, F2Pool 11.57 %, SlushPool 9.69 %, Poolin 9.58 %.
+pub fn roster_2019_b() -> Vec<PoolSpec> {
+    vec![
+        PoolSpec { name: "BTC.com", share: 0.1967, wallets: 3 },
+        PoolSpec { name: "AntPool", share: 0.1277, wallets: 3 },
+        PoolSpec { name: "F2Pool", share: 0.1157, wallets: 4 },
+        PoolSpec { name: "SlushPool", share: 0.0969, wallets: 12 },
+        PoolSpec { name: "Poolin", share: 0.0958, wallets: 8 },
+        PoolSpec { name: "ViaBTC", share: 0.0650, wallets: 2 },
+        PoolSpec { name: "BTC.TOP", share: 0.0550, wallets: 2 },
+        PoolSpec { name: "Bitfury", share: 0.0350, wallets: 1 },
+        PoolSpec { name: "Huobi", share: 0.0330, wallets: 2 },
+        PoolSpec { name: "SpiderPool", share: 0.0280, wallets: 1 },
+        PoolSpec { name: "DPool", share: 0.0220, wallets: 1 },
+        PoolSpec { name: "BitClub", share: 0.0180, wallets: 1 },
+        PoolSpec { name: "Bixin", share: 0.0160, wallets: 1 },
+        PoolSpec { name: "WAYI.CN", share: 0.0140, wallets: 1 },
+        PoolSpec { name: "58COIN", share: 0.0120, wallets: 1 },
+        PoolSpec { name: "Rawpool", share: 0.0110, wallets: 1 },
+        PoolSpec { name: "Tangpool", share: 0.0090, wallets: 1 },
+        PoolSpec { name: "KanoPool", share: 0.0080, wallets: 1 },
+        PoolSpec { name: "Sigmapool", share: 0.0070, wallets: 1 },
+        PoolSpec { name: "SoloCK", share: 0.0060, wallets: 1 },
+    ]
+}
+
+/// Dataset 𝒞's top-20 pools (2020, §3 and Tables 2–3): F2Pool 17.53 %,
+/// Poolin 14.80 %, BTC.com 11.99 %, AntPool 10.96 %, Huobi 7.5 %, and the
+/// Table 2 actors ViaBTC (6.76 %), 1THash & 58Coin (6.11 %) and SlushPool
+/// (3.75 %).
+pub fn roster_2020() -> Vec<PoolSpec> {
+    vec![
+        PoolSpec { name: "F2Pool", share: 0.1753, wallets: 4 },
+        PoolSpec { name: "Poolin", share: 0.1480, wallets: 8 },
+        PoolSpec { name: "BTC.com", share: 0.1199, wallets: 3 },
+        PoolSpec { name: "AntPool", share: 0.1096, wallets: 3 },
+        PoolSpec { name: "Huobi", share: 0.0750, wallets: 3 },
+        PoolSpec { name: "ViaBTC", share: 0.0676, wallets: 2 },
+        PoolSpec { name: "1THash & 58Coin", share: 0.0611, wallets: 2 },
+        PoolSpec { name: "Okex", share: 0.0520, wallets: 3 },
+        PoolSpec { name: "Binance Pool", share: 0.0450, wallets: 2 },
+        PoolSpec { name: "SlushPool", share: 0.0375, wallets: 12 },
+        PoolSpec { name: "Lubian.com", share: 0.0220, wallets: 2 },
+        PoolSpec { name: "BTC.TOP", share: 0.0180, wallets: 1 },
+        PoolSpec { name: "Bitfury", share: 0.0150, wallets: 1 },
+        PoolSpec { name: "SpiderPool", share: 0.0120, wallets: 1 },
+        PoolSpec { name: "NovaBlock", share: 0.0090, wallets: 1 },
+        PoolSpec { name: "TigerPool", share: 0.0070, wallets: 1 },
+        PoolSpec { name: "BitDeer", share: 0.0060, wallets: 1 },
+        PoolSpec { name: "Buffett", share: 0.0050, wallets: 1 },
+        PoolSpec { name: "EMCD", share: 0.0045, wallets: 1 },
+        PoolSpec { name: "MiningCity", share: 0.0040, wallets: 1 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rosters_have_twenty_pools() {
+        assert_eq!(roster_2019_a().len(), 20);
+        assert_eq!(roster_2019_b().len(), 20);
+        assert_eq!(roster_2020().len(), 20);
+    }
+
+    #[test]
+    fn shares_are_plausible() {
+        for roster in [roster_2019_a(), roster_2019_b(), roster_2020()] {
+            let total: f64 = roster.iter().map(|p| p.share).sum();
+            assert!((0.9..=1.01).contains(&total), "total share {total}");
+            for p in &roster {
+                assert!(p.share > 0.0 && p.wallets > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_headline_shares_match() {
+        let c = roster_2020();
+        assert_eq!(c[0].name, "F2Pool");
+        assert!((c[0].share - 0.1753).abs() < 1e-9);
+        let viabtc = c.iter().find(|p| p.name == "ViaBTC").expect("present");
+        assert!((viabtc.share - 0.0676).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spec_conversion_attaches_behaviors() {
+        let spec = &roster_2020()[0];
+        let cfg = spec.with(vec![PoolBehavior::SelfInterest], true);
+        assert_eq!(cfg.behaviors.len(), 1);
+        assert!(cfg.accepts_low_fee);
+        assert_eq!(cfg.name, "F2Pool");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for roster in [roster_2019_a(), roster_2019_b(), roster_2020()] {
+            let mut names: Vec<_> = roster.iter().map(|p| p.name).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), roster.len());
+        }
+    }
+}

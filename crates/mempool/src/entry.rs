@@ -1,0 +1,105 @@
+//! A transaction resident in the Mempool, with cached fee metadata.
+
+use cn_chain::{Amount, FeeRate, Timestamp, Transaction, Txid};
+use std::sync::Arc;
+
+/// A Mempool resident: the transaction plus everything the pool and the
+/// block assembler need to rank it.
+///
+/// Transactions are held behind [`Arc`] so that the many per-node Mempool
+/// views a network simulation maintains share one copy of each transaction.
+#[derive(Clone, Debug)]
+pub struct MempoolEntry {
+    tx: Arc<Transaction>,
+    fee: Amount,
+    received: Timestamp,
+    sequence: u64,
+}
+
+impl MempoolEntry {
+    /// Wraps a transaction with its externally computed fee (the Mempool
+    /// does not own a UTXO view; the node layer computes fees) and receipt
+    /// time. `sequence` is the pool-assigned arrival counter.
+    pub(crate) fn new(
+        tx: Arc<Transaction>,
+        fee: Amount,
+        received: Timestamp,
+        sequence: u64,
+    ) -> Self {
+        MempoolEntry { tx, fee, received, sequence }
+    }
+
+    /// The transaction.
+    pub fn tx(&self) -> &Transaction {
+        &self.tx
+    }
+
+    /// A shared handle to the transaction (cheap to clone).
+    pub fn tx_arc(&self) -> Arc<Transaction> {
+        Arc::clone(&self.tx)
+    }
+
+    /// The transaction id.
+    pub fn txid(&self) -> Txid {
+        self.tx.txid()
+    }
+
+    /// The absolute fee.
+    pub fn fee(&self) -> Amount {
+        self.fee
+    }
+
+    /// Virtual size in vbytes.
+    pub fn vsize(&self) -> u64 {
+        self.tx.vsize()
+    }
+
+    /// The standalone fee rate (fee / vsize), the quantity norms I and II
+    /// rank by.
+    pub fn fee_rate(&self) -> FeeRate {
+        FeeRate::from_fee_and_vsize(self.fee, self.vsize())
+    }
+
+    /// When the pool first saw this transaction.
+    pub fn received(&self) -> Timestamp {
+        self.received
+    }
+
+    /// Pool-local arrival sequence number (total order on arrivals, used to
+    /// break fee-rate ties deterministically).
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_chain::{Address, TxOut};
+
+    fn tx() -> Transaction {
+        Transaction::builder()
+            .add_input_with_sizes([1; 32].into(), 0, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(1_000), Address::from_label("r")))
+            .build()
+    }
+
+    #[test]
+    fn fee_rate_derived_from_fee_and_vsize() {
+        let t = tx();
+        let vsize = t.vsize();
+        let e = MempoolEntry::new(t.into(), Amount::from_sat(vsize * 2), 50, 0);
+        assert_eq!(e.fee_rate(), FeeRate::from_sat_per_vb(2));
+        assert_eq!(e.received(), 50);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let t = tx();
+        let txid = t.txid();
+        let e = MempoolEntry::new(t.into(), Amount::from_sat(500), 9, 7);
+        assert_eq!(e.txid(), txid);
+        assert_eq!(e.fee(), Amount::from_sat(500));
+        assert_eq!(e.sequence(), 7);
+    }
+}

@@ -1,0 +1,740 @@
+//! The Mempool proper: indexes, acceptance, package linkage, block connect.
+
+use crate::entry::MempoolEntry;
+use crate::policy::MempoolPolicy;
+use crate::snapshot::{MempoolSnapshot, SnapshotEntry};
+use cn_chain::{Amount, Block, FeeRate, OutPoint, Timestamp, Transaction, Txid};
+use std::cmp::Reverse;
+use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Why a transaction was refused admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcceptError {
+    /// Already in the pool.
+    Duplicate,
+    /// Fee rate below the policy floor (norm III).
+    BelowMinFeeRate {
+        /// The transaction's fee rate.
+        offered: FeeRate,
+        /// The policy floor.
+        floor: FeeRate,
+    },
+    /// Spends an outpoint another in-pool transaction already spends.
+    Conflict {
+        /// The contested outpoint.
+        outpoint: OutPoint,
+        /// The in-pool transaction spending it.
+        existing: Txid,
+    },
+    /// The in-pool ancestor package would exceed the policy depth limit.
+    TooManyAncestors,
+    /// An ancestor's descendant set would exceed the policy limit.
+    TooManyDescendants,
+}
+
+impl fmt::Display for AcceptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcceptError::Duplicate => write!(f, "transaction already in mempool"),
+            AcceptError::BelowMinFeeRate { offered, floor } => {
+                write!(f, "fee rate {offered} below floor {floor}")
+            }
+            AcceptError::Conflict { outpoint, existing } => {
+                write!(f, "conflicts with {existing} over {}:{}", outpoint.txid, outpoint.vout)
+            }
+            AcceptError::TooManyAncestors => write!(f, "ancestor package too deep"),
+            AcceptError::TooManyDescendants => write!(f, "descendant package too large"),
+        }
+    }
+}
+
+impl std::error::Error for AcceptError {}
+
+/// Fee-rate-sorted key: iterating the index in reverse yields highest fee
+/// rate first, with FIFO arrival order breaking ties deterministically.
+type RateKey = (FeeRate, Reverse<u64>, Txid);
+
+/// A Bitcoin-Core-style memory pool.
+///
+/// ```
+/// use cn_mempool::{Mempool, MempoolPolicy};
+/// use cn_chain::{Address, Amount, Transaction, TxOut};
+///
+/// let mut pool = Mempool::new(MempoolPolicy::default());
+/// let tx = Transaction::builder()
+///     .add_input_with_sizes([1u8; 32].into(), 0, 107, 0)
+///     .add_output(TxOut::to_address(Amount::from_sat(50_000), Address::from_label("r")))
+///     .build();
+/// let fee = Amount::from_sat(tx.vsize() * 10); // 10 sat/vB
+/// let txid = pool.add(tx, fee, 0).expect("above the relay floor");
+/// assert!(pool.contains(&txid));
+/// assert_eq!(pool.iter_by_fee_rate_desc().next().unwrap().txid(), txid);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Mempool {
+    policy: MempoolPolicy,
+    entries: HashMap<Txid, MempoolEntry>,
+    by_rate: BTreeSet<RateKey>,
+    /// In-pool spends, for conflict detection and confirmed-conflict eviction.
+    spent: HashMap<OutPoint, Txid>,
+    /// Parent txid -> children resident in the pool.
+    children: HashMap<Txid, BTreeSet<Txid>>,
+    total_vsize: u64,
+    next_sequence: u64,
+}
+
+impl Mempool {
+    /// Creates an empty pool with the given policy.
+    pub fn new(policy: MempoolPolicy) -> Mempool {
+        Mempool { policy, ..Mempool::default() }
+    }
+
+    /// The acceptance policy.
+    pub fn policy(&self) -> &MempoolPolicy {
+        &self.policy
+    }
+
+    /// Number of resident transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Aggregate virtual size of all residents, in vbytes — the paper's
+    /// "Mempool size" congestion signal.
+    pub fn total_vsize(&self) -> u64 {
+        self.total_vsize
+    }
+
+    /// Looks up a resident entry.
+    pub fn get(&self, txid: &Txid) -> Option<&MempoolEntry> {
+        self.entries.get(txid)
+    }
+
+    /// True when `txid` is resident.
+    pub fn contains(&self, txid: &Txid) -> bool {
+        self.entries.contains_key(txid)
+    }
+
+    /// Attempts to admit `tx` with externally computed `fee` at time `now`.
+    pub fn add(&mut self, tx: Transaction, fee: Amount, now: Timestamp) -> Result<Txid, AcceptError> {
+        self.add_shared(Arc::new(tx), fee, now)
+    }
+
+    /// Like [`Mempool::add`], but takes a shared transaction handle so
+    /// several node views can admit the same transaction without copying it.
+    pub fn add_shared(
+        &mut self,
+        tx: Arc<Transaction>,
+        fee: Amount,
+        now: Timestamp,
+    ) -> Result<Txid, AcceptError> {
+        let txid = tx.txid();
+        if self.entries.contains_key(&txid) {
+            return Err(AcceptError::Duplicate);
+        }
+        let rate = FeeRate::from_fee_and_vsize(fee, tx.vsize());
+        if let Some(floor) = self.policy.min_fee_rate {
+            if rate < floor {
+                return Err(AcceptError::BelowMinFeeRate { offered: rate, floor });
+            }
+        }
+        for input in tx.inputs() {
+            if let Some(&existing) = self.spent.get(&input.prevout) {
+                return Err(AcceptError::Conflict { outpoint: input.prevout, existing });
+            }
+        }
+        // Package limits against in-pool ancestors.
+        let parents: BTreeSet<Txid> = tx
+            .inputs()
+            .iter()
+            .map(|i| i.prevout.txid)
+            .filter(|t| self.entries.contains_key(t))
+            .collect();
+        if !parents.is_empty() {
+            let ancestors = self.collect_ancestors(parents.iter().copied());
+            if ancestors.len() >= self.policy.max_ancestors {
+                return Err(AcceptError::TooManyAncestors);
+            }
+            for ancestor in &ancestors {
+                if self.descendants(ancestor).len() + 1 >= self.policy.max_descendants {
+                    return Err(AcceptError::TooManyDescendants);
+                }
+            }
+        }
+
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        for input in tx.inputs() {
+            self.spent.insert(input.prevout, txid);
+        }
+        for parent in parents {
+            self.children.entry(parent).or_default().insert(txid);
+        }
+        // P2P paths can deliver a child before its parent; if any resident
+        // transaction already spends one of this transaction's outputs,
+        // reconstruct the parent→child edge now.
+        for vout in 0..tx.outputs().len() as u32 {
+            if let Some(&child) = self.spent.get(&OutPoint::new(txid, vout)) {
+                self.children.entry(txid).or_default().insert(child);
+            }
+        }
+        self.total_vsize += tx.vsize();
+        self.by_rate.insert((rate, Reverse(sequence), txid));
+        self.entries.insert(txid, MempoolEntry::new(tx, fee, now, sequence));
+        Ok(txid)
+    }
+
+    /// Removes one transaction (no descendant handling); returns the entry.
+    fn remove_single(&mut self, txid: &Txid) -> Option<MempoolEntry> {
+        let entry = self.entries.remove(txid)?;
+        self.by_rate
+            .remove(&(entry.fee_rate(), Reverse(entry.sequence()), *txid));
+        self.total_vsize -= entry.vsize();
+        for input in entry.tx().inputs() {
+            self.spent.remove(&input.prevout);
+        }
+        for input in entry.tx().inputs() {
+            if let Some(set) = self.children.get_mut(&input.prevout.txid) {
+                set.remove(txid);
+                if set.is_empty() {
+                    self.children.remove(&input.prevout.txid);
+                }
+            }
+        }
+        self.children.remove(txid);
+        Some(entry)
+    }
+
+    /// Removes `txid` and every in-pool descendant (used when a transaction
+    /// is evicted or conflicted away — its children can no longer be mined).
+    pub fn remove_with_descendants(&mut self, txid: &Txid) -> Vec<MempoolEntry> {
+        let mut order = self.descendants(txid);
+        order.push(*txid);
+        let mut removed = Vec::with_capacity(order.len());
+        for t in order {
+            if let Some(e) = self.remove_single(&t) {
+                removed.push(e);
+            }
+        }
+        removed
+    }
+
+    /// Connects a block: removes confirmed transactions and evicts any pool
+    /// transaction (plus descendants) that conflicts with a confirmed spend.
+    /// Returns `(confirmed_count, conflicted_count)`.
+    pub fn apply_block(&mut self, block: &Block) -> (usize, usize) {
+        let mut confirmed = 0;
+        let mut conflicted = 0;
+        for tx in block.body() {
+            let txid = tx.txid();
+            if self.remove_single(&txid).is_some() {
+                confirmed += 1;
+            }
+            // A confirmed spend of an outpoint invalidates any other pool
+            // transaction spending it.
+            for input in tx.inputs() {
+                if let Some(&rival) = self.spent.get(&input.prevout) {
+                    if rival != txid {
+                        conflicted += self.remove_with_descendants(&rival).len();
+                    }
+                }
+            }
+        }
+        (confirmed, conflicted)
+    }
+
+    /// All in-pool ancestors of `txid` (excluding itself).
+    pub fn ancestors(&self, txid: &Txid) -> Vec<Txid> {
+        let Some(entry) = self.entries.get(txid) else {
+            return Vec::new();
+        };
+        let parents = entry
+            .tx()
+            .inputs()
+            .iter()
+            .map(|i| i.prevout.txid)
+            .filter(|t| self.entries.contains_key(t));
+        self.collect_ancestors(parents).into_iter().collect()
+    }
+
+    fn collect_ancestors(&self, seeds: impl Iterator<Item = Txid>) -> HashSet<Txid> {
+        let mut seen: HashSet<Txid> = HashSet::new();
+        let mut stack: Vec<Txid> = seeds.collect();
+        while let Some(t) = stack.pop() {
+            if !seen.insert(t) {
+                continue;
+            }
+            if let Some(entry) = self.entries.get(&t) {
+                for input in entry.tx().inputs() {
+                    let p = input.prevout.txid;
+                    if self.entries.contains_key(&p) && !seen.contains(&p) {
+                        stack.push(p);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// All in-pool descendants of `txid` (excluding itself).
+    pub fn descendants(&self, txid: &Txid) -> Vec<Txid> {
+        let mut seen: HashSet<Txid> = HashSet::new();
+        let mut stack: Vec<Txid> = self
+            .children
+            .get(txid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        let mut out = Vec::new();
+        while let Some(t) = stack.pop() {
+            if !seen.insert(t) {
+                continue;
+            }
+            out.push(t);
+            if let Some(kids) = self.children.get(&t) {
+                stack.extend(kids.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// The in-pool transaction currently spending `outpoint`, if any.
+    pub fn spender_of(&self, outpoint: &OutPoint) -> Option<Txid> {
+        self.spent.get(outpoint).copied()
+    }
+
+    /// The *descendant package score* of `txid`: total fee and vsize of
+    /// the transaction plus all its in-pool descendants — the quantity
+    /// Bitcoin Core's size-limit eviction ranks by.
+    pub fn descendant_package(&self, txid: &Txid) -> Option<(Amount, u64)> {
+        let entry = self.entries.get(txid)?;
+        let mut fee = entry.fee();
+        let mut vsize = entry.vsize();
+        for d in self.descendants(txid) {
+            let e = self.entries.get(&d).expect("descendants are resident");
+            fee += e.fee();
+            vsize += e.vsize();
+        }
+        Some((fee, vsize))
+    }
+
+    /// Evicts lowest-value packages until the pool fits in `max_vsize`
+    /// virtual bytes — Bitcoin Core's `-maxmempool` behaviour. The victim
+    /// each round is the transaction with the lowest descendant-package
+    /// fee rate; it leaves together with its descendants. Returns the
+    /// evicted txids in eviction order.
+    pub fn limit_size(&mut self, max_vsize: u64) -> Vec<Txid> {
+        let mut evicted = Vec::new();
+        while self.total_vsize > max_vsize {
+            // Scan for the worst descendant-package rate. The scan is
+            // O(n·descendants); eviction is rare (only on overflow), so
+            // clarity wins over an incrementally maintained index here.
+            let victim = self
+                .entries
+                .keys()
+                .copied()
+                .filter_map(|t| {
+                    let (fee, vsize) = self.descendant_package(&t)?;
+                    Some((FeeRate::from_fee_and_vsize(fee, vsize), t))
+                })
+                .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let Some((_, victim)) = victim else { break };
+            evicted.extend(self.remove_with_descendants(&victim).iter().map(|e| e.txid()));
+        }
+        evicted
+    }
+
+    /// The CPFP *ancestor package score* of `txid`: total fee and vsize of
+    /// the transaction plus all its in-pool ancestors — the quantity
+    /// Bitcoin Core's assembler actually ranks by.
+    pub fn ancestor_package(&self, txid: &Txid) -> Option<(Amount, u64)> {
+        let entry = self.entries.get(txid)?;
+        let mut fee = entry.fee();
+        let mut vsize = entry.vsize();
+        for a in self.ancestors(txid) {
+            let e = self.entries.get(&a).expect("ancestors are resident");
+            fee += e.fee();
+            vsize += e.vsize();
+        }
+        Some((fee, vsize))
+    }
+
+    /// Whether `txid` has at least one in-pool ancestor (i.e. is the child
+    /// part of a potential CPFP package).
+    pub fn has_unconfirmed_parent(&self, txid: &Txid) -> bool {
+        self.entries
+            .get(txid)
+            .map(|e| {
+                e.tx()
+                    .inputs()
+                    .iter()
+                    .any(|i| self.entries.contains_key(&i.prevout.txid))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Iterates entries from highest to lowest fee rate (FIFO within ties).
+    pub fn iter_by_fee_rate_desc(&self) -> impl Iterator<Item = &MempoolEntry> + '_ {
+        self.by_rate
+            .iter()
+            .rev()
+            .map(move |(_, _, txid)| self.entries.get(txid).expect("index consistent"))
+    }
+
+    /// Iterates all entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &MempoolEntry> + '_ {
+        self.entries.values()
+    }
+
+    /// Evicts entries older than `max_age` at time `now` (Bitcoin Core's
+    /// two-week expiry, configurable). Descendants of an evicted entry are
+    /// evicted with it. Returns evicted txids.
+    pub fn evict_expired(&mut self, now: Timestamp, max_age: u64) -> Vec<Txid> {
+        let expired: Vec<Txid> = self
+            .entries
+            .values()
+            .filter(|e| now.saturating_sub(e.received()) > max_age)
+            .map(|e| e.txid())
+            .collect();
+        let mut evicted = Vec::new();
+        for txid in expired {
+            if self.contains(&txid) {
+                evicted.extend(self.remove_with_descendants(&txid).iter().map(|e| e.txid()));
+            }
+        }
+        evicted
+    }
+
+    /// Records the pool's full state at `now` — one paper-style dataset
+    /// row with per-transaction entries.
+    pub fn snapshot(&self, now: Timestamp) -> MempoolSnapshot {
+        let entries: Vec<SnapshotEntry> = self
+            .entries
+            .values()
+            .map(|e| SnapshotEntry {
+                txid: e.txid(),
+                received: e.received(),
+                fee: e.fee(),
+                vsize: e.vsize(),
+                has_unconfirmed_parent: self.has_unconfirmed_parent(&e.txid()),
+            })
+            .collect();
+        MempoolSnapshot::from_entries(now, entries)
+    }
+
+    /// Records only the pool's aggregate state at `now` (count and total
+    /// virtual size) — cheap enough for every 15-second tick of a
+    /// year-scale run.
+    pub fn snapshot_light(&self, now: Timestamp) -> MempoolSnapshot {
+        MempoolSnapshot::light(now, self.entries.len(), self.total_vsize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_chain::{Address, TxOut};
+
+    fn tx_with(seed: u8, vout: u32, out_sats: u64) -> Transaction {
+        Transaction::builder()
+            .add_input_with_sizes([seed; 32].into(), vout, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(out_sats), Address::from_label("r")))
+            .build()
+    }
+
+    fn child_of(parent: &Transaction, out_sats: u64) -> Transaction {
+        Transaction::builder()
+            .add_input_with_sizes(parent.txid(), 0, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(out_sats), Address::from_label("c")))
+            .build()
+    }
+
+    fn pool() -> Mempool {
+        Mempool::new(MempoolPolicy::default())
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = pool();
+        let t = tx_with(1, 0, 1_000);
+        let vsize = t.vsize();
+        let txid = p.add(t, Amount::from_sat(2_000), 10).expect("accepted");
+        assert!(p.contains(&txid));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.total_vsize(), vsize);
+        assert_eq!(p.get(&txid).expect("resident").received(), 10);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut p = pool();
+        let t = tx_with(1, 0, 1_000);
+        p.add(t.clone(), Amount::from_sat(2_000), 0).expect("first");
+        assert_eq!(p.add(t, Amount::from_sat(2_000), 1), Err(AcceptError::Duplicate));
+    }
+
+    #[test]
+    fn relay_floor_enforced_and_disableable() {
+        let t = tx_with(1, 0, 1_000);
+        let mut strict = pool();
+        assert!(matches!(
+            strict.add(t.clone(), Amount::from_sat(10), 0),
+            Err(AcceptError::BelowMinFeeRate { .. })
+        ));
+        let mut lax = Mempool::new(MempoolPolicy::accept_all());
+        assert!(lax.add(t, Amount::ZERO, 0).is_ok());
+    }
+
+    #[test]
+    fn conflicting_spend_rejected() {
+        let mut p = pool();
+        let a = tx_with(1, 0, 1_000);
+        let b = Transaction::builder()
+            .add_input_with_sizes([1; 32].into(), 0, 108, 0) // same prevout, different tx
+            .add_output(TxOut::to_address(Amount::from_sat(900), Address::from_label("x")))
+            .build();
+        p.add(a.clone(), Amount::from_sat(2_000), 0).expect("first");
+        let err = p.add(b, Amount::from_sat(3_000), 1).expect_err("conflict");
+        assert!(matches!(err, AcceptError::Conflict { existing, .. } if existing == a.txid()));
+    }
+
+    #[test]
+    fn fee_rate_iteration_descending_with_fifo_ties() {
+        let mut p = pool();
+        let low = tx_with(1, 0, 1_000);
+        let high = tx_with(2, 0, 1_000);
+        let mid_first = tx_with(3, 0, 1_000);
+        let mid_second = tx_with(4, 0, 1_000);
+        // All four txs have identical vsize, so fees order the rates.
+        let vs = low.vsize();
+        p.add(low.clone(), Amount::from_sat(vs * 2), 0).expect("ok");
+        p.add(mid_first.clone(), Amount::from_sat(vs * 5), 1).expect("ok");
+        p.add(high.clone(), Amount::from_sat(vs * 9), 2).expect("ok");
+        p.add(mid_second.clone(), Amount::from_sat(vs * 5), 3).expect("ok");
+        let order: Vec<Txid> = p.iter_by_fee_rate_desc().map(|e| e.txid()).collect();
+        assert_eq!(order, vec![high.txid(), mid_first.txid(), mid_second.txid(), low.txid()]);
+    }
+
+    #[test]
+    fn ancestors_and_descendants_tracked() {
+        let mut p = pool();
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        let grandchild = child_of(&child, 30_000);
+        p.add(parent.clone(), Amount::from_sat(1_000), 0).expect("ok");
+        p.add(child.clone(), Amount::from_sat(5_000), 1).expect("ok");
+        p.add(grandchild.clone(), Amount::from_sat(5_000), 2).expect("ok");
+
+        let mut anc = p.ancestors(&grandchild.txid());
+        anc.sort();
+        let mut expect = vec![parent.txid(), child.txid()];
+        expect.sort();
+        assert_eq!(anc, expect);
+
+        let mut desc = p.descendants(&parent.txid());
+        desc.sort();
+        let mut expect = vec![child.txid(), grandchild.txid()];
+        expect.sort();
+        assert_eq!(desc, expect);
+
+        assert!(p.has_unconfirmed_parent(&child.txid()));
+        assert!(!p.has_unconfirmed_parent(&parent.txid()));
+    }
+
+    #[test]
+    fn ancestor_package_scores_cpfp() {
+        // accept_all so the deliberately underpriced parent gets in.
+        let mut p = Mempool::new(MempoolPolicy::accept_all());
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        let (pv, cv) = (parent.vsize(), child.vsize());
+        p.add(parent.clone(), Amount::from_sat(100), 0).expect("low-fee parent");
+        p.add(child.clone(), Amount::from_sat(9_000), 1).expect("high-fee child");
+        let (fee, vsize) = p.ancestor_package(&child.txid()).expect("resident");
+        assert_eq!(fee, Amount::from_sat(9_100));
+        assert_eq!(vsize, pv + cv);
+        // Parent alone scores only itself.
+        let (fee, vsize) = p.ancestor_package(&parent.txid()).expect("resident");
+        assert_eq!(fee, Amount::from_sat(100));
+        assert_eq!(vsize, pv);
+    }
+
+    #[test]
+    fn apply_block_confirms_and_evicts_conflicts() {
+        let mut p = pool();
+        let confirmed = tx_with(1, 0, 1_000);
+        let rival = Transaction::builder()
+            .add_input_with_sizes([2; 32].into(), 0, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(800), Address::from_label("x")))
+            .build();
+        let rival_child = child_of(&rival, 500);
+        p.add(confirmed.clone(), Amount::from_sat(2_000), 0).expect("ok");
+        p.add(rival.clone(), Amount::from_sat(2_000), 0).expect("ok");
+        p.add(rival_child.clone(), Amount::from_sat(2_000), 0).expect("ok");
+
+        // The block confirms `confirmed` plus a tx double-spending `rival`'s input.
+        let winner = Transaction::builder()
+            .add_input_with_sizes([2; 32].into(), 0, 108, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(700), Address::from_label("w")))
+            .build();
+        let cb = cn_chain::CoinbaseBuilder::new(1)
+            .reward(Address::from_label("pool"), Amount::from_btc(6))
+            .build();
+        let block = cn_chain::Block::assemble(
+            2,
+            cn_chain::BlockHash::ZERO,
+            0,
+            0,
+            cb,
+            vec![confirmed.clone(), winner],
+        );
+        let (confirmed_n, conflicted_n) = p.apply_block(&block);
+        assert_eq!(confirmed_n, 1);
+        assert_eq!(conflicted_n, 2); // rival + its child
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn remove_with_descendants_cleans_indexes() {
+        let mut p = pool();
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        p.add(parent.clone(), Amount::from_sat(1_000), 0).expect("ok");
+        p.add(child.clone(), Amount::from_sat(1_000), 0).expect("ok");
+        let removed = p.remove_with_descendants(&parent.txid());
+        assert_eq!(removed.len(), 2);
+        assert!(p.is_empty());
+        assert_eq!(p.total_vsize(), 0);
+        assert_eq!(p.iter_by_fee_rate_desc().count(), 0);
+        // Re-adding after removal works (spent index was cleaned).
+        assert!(p.add(parent, Amount::from_sat(1_000), 1).is_ok());
+    }
+
+    #[test]
+    fn ancestor_limit_enforced() {
+        let mut p = Mempool::new(MempoolPolicy {
+            max_ancestors: 2,
+            ..MempoolPolicy::default()
+        });
+        let t0 = tx_with(1, 0, 90_000);
+        let t1 = child_of(&t0, 80_000);
+        let t2 = child_of(&t1, 70_000);
+        p.add(t0, Amount::from_sat(1_000), 0).expect("ok");
+        p.add(t1, Amount::from_sat(1_000), 0).expect("ok");
+        assert_eq!(p.add(t2, Amount::from_sat(1_000), 0), Err(AcceptError::TooManyAncestors));
+    }
+
+    #[test]
+    fn descendant_limit_enforced() {
+        let mut p = Mempool::new(MempoolPolicy {
+            max_descendants: 2,
+            ..MempoolPolicy::default()
+        });
+        // One parent with two outputs; attach children until refused.
+        let parent = Transaction::builder()
+            .add_input_with_sizes([7; 32].into(), 0, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(50_000), Address::from_label("a")))
+            .add_output(TxOut::to_address(Amount::from_sat(50_000), Address::from_label("b")))
+            .build();
+        let c0 = Transaction::builder()
+            .add_input_with_sizes(parent.txid(), 0, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(40_000), Address::from_label("c")))
+            .build();
+        let c1 = Transaction::builder()
+            .add_input_with_sizes(parent.txid(), 1, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(40_000), Address::from_label("d")))
+            .build();
+        p.add(parent, Amount::from_sat(1_000), 0).expect("ok");
+        p.add(c0, Amount::from_sat(1_000), 0).expect("ok");
+        assert_eq!(p.add(c1, Amount::from_sat(1_000), 0), Err(AcceptError::TooManyDescendants));
+    }
+
+    #[test]
+    fn expiry_evicts_old_entries_with_children() {
+        let mut p = pool();
+        let old = tx_with(1, 0, 50_000);
+        let child = child_of(&old, 40_000);
+        let fresh = tx_with(2, 0, 1_000);
+        p.add(old.clone(), Amount::from_sat(1_000), 0).expect("ok");
+        p.add(child.clone(), Amount::from_sat(1_000), 500_000).expect("ok");
+        p.add(fresh.clone(), Amount::from_sat(1_000), 1_000_000).expect("ok");
+        let evicted = p.evict_expired(1_000_100, 600_000);
+        assert_eq!(evicted.len(), 2);
+        assert!(p.contains(&fresh.txid()));
+        assert!(!p.contains(&old.txid()));
+        assert!(!p.contains(&child.txid()));
+    }
+
+    #[test]
+    fn descendant_package_mirrors_ancestor_package() {
+        let mut p = Mempool::new(MempoolPolicy::accept_all());
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        p.add(parent.clone(), Amount::from_sat(100), 0).expect("ok");
+        p.add(child.clone(), Amount::from_sat(9_000), 1).expect("ok");
+        let (fee, vsize) = p.descendant_package(&parent.txid()).expect("resident");
+        assert_eq!(fee, Amount::from_sat(9_100));
+        assert_eq!(vsize, parent.vsize() + child.vsize());
+        let (fee, _) = p.descendant_package(&child.txid()).expect("resident");
+        assert_eq!(fee, Amount::from_sat(9_000));
+    }
+
+    #[test]
+    fn limit_size_evicts_worst_packages_first() {
+        let mut p = pool();
+        let cheap = tx_with(1, 0, 1_000);
+        let mid = tx_with(2, 0, 1_000);
+        let rich = tx_with(3, 0, 1_000);
+        let vs = cheap.vsize();
+        p.add(cheap.clone(), Amount::from_sat(vs * 2), 0).expect("ok");
+        p.add(mid.clone(), Amount::from_sat(vs * 10), 1).expect("ok");
+        p.add(rich.clone(), Amount::from_sat(vs * 50), 2).expect("ok");
+        let evicted = p.limit_size(2 * vs);
+        assert_eq!(evicted, vec![cheap.txid()]);
+        assert!(p.contains(&mid.txid()) && p.contains(&rich.txid()));
+        assert!(p.total_vsize() <= 2 * vs);
+        // Already under the cap: a second call is a no-op.
+        assert!(p.limit_size(2 * vs).is_empty());
+    }
+
+    #[test]
+    fn limit_size_keeps_cpfp_parent_with_rich_child() {
+        let mut p = Mempool::new(MempoolPolicy::accept_all());
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        let loner = tx_with(2, 0, 1_000);
+        p.add(parent.clone(), Amount::from_sat(100), 0).expect("ok");
+        p.add(child.clone(), Amount::from_sat(50_000), 1).expect("ok");
+        p.add(loner.clone(), Amount::from_sat(2_000), 2).expect("ok");
+        // Descendant-package scoring protects the low-fee parent because
+        // its package includes the rich child; the loner goes instead.
+        let budget = parent.vsize() + child.vsize();
+        let evicted = p.limit_size(budget);
+        assert_eq!(evicted, vec![loner.txid()]);
+        assert!(p.contains(&parent.txid()) && p.contains(&child.txid()));
+    }
+
+    #[test]
+    fn snapshot_captures_pool_state() {
+        let mut p = pool();
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        p.add(parent.clone(), Amount::from_sat(1_000), 5).expect("ok");
+        p.add(child.clone(), Amount::from_sat(2_000), 9).expect("ok");
+        let snap = p.snapshot(15);
+        assert_eq!(snap.time, 15);
+        assert_eq!(snap.entries.len(), 2);
+        let child_row = snap.entries.iter().find(|e| e.txid == child.txid()).expect("child");
+        assert!(child_row.has_unconfirmed_parent);
+        assert_eq!(child_row.received, 9);
+        let parent_row = snap.entries.iter().find(|e| e.txid == parent.txid()).expect("parent");
+        assert!(!parent_row.has_unconfirmed_parent);
+        assert_eq!(snap.total_vsize(), parent.vsize() + child.vsize());
+    }
+}

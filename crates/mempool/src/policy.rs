@@ -1,0 +1,58 @@
+//! Mempool acceptance policy.
+
+use cn_chain::FeeRate;
+use serde::{Deserialize, Serialize};
+
+/// Node-operator policy knobs for Mempool acceptance.
+///
+/// The defaults mirror Bitcoin Core's: a 1 sat/vB relay floor (norm III)
+/// and Core's 25-transaction ancestor/descendant package limits. The
+/// paper's dataset-ℬ node ran with the floor disabled
+/// ([`MempoolPolicy::accept_all`]) to observe zero-fee transactions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MempoolPolicy {
+    /// Transactions below this fee rate are refused admission
+    /// (`None` disables the check).
+    pub min_fee_rate: Option<FeeRate>,
+    /// Maximum number of in-pool ancestors (package depth guard).
+    pub max_ancestors: usize,
+    /// Maximum number of in-pool descendants per transaction.
+    pub max_descendants: usize,
+}
+
+impl Default for MempoolPolicy {
+    fn default() -> Self {
+        MempoolPolicy {
+            min_fee_rate: Some(FeeRate::MIN_RELAY),
+            max_ancestors: 25,
+            max_descendants: 25,
+        }
+    }
+}
+
+impl MempoolPolicy {
+    /// Policy of the paper's dataset-ℬ observer: accepts everything,
+    /// including zero-fee transactions.
+    pub fn accept_all() -> MempoolPolicy {
+        MempoolPolicy { min_fee_rate: None, ..MempoolPolicy::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enforces_relay_floor() {
+        let p = MempoolPolicy::default();
+        assert_eq!(p.min_fee_rate, Some(FeeRate::MIN_RELAY));
+        assert_eq!(p.max_ancestors, 25);
+    }
+
+    #[test]
+    fn accept_all_disables_floor_only() {
+        let p = MempoolPolicy::accept_all();
+        assert_eq!(p.min_fee_rate, None);
+        assert_eq!(p.max_descendants, MempoolPolicy::default().max_descendants);
+    }
+}

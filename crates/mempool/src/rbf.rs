@@ -1,0 +1,281 @@
+//! BIP-125-style replace-by-fee.
+//!
+//! Bitcoin Core lets a new transaction evict in-pool conflicts when it
+//! pays strictly more, at a better rate, and covers the relay cost of
+//! everything it displaces. RBF interacts with ordering studies in two
+//! ways: it is the *sanctioned* way to accelerate a stuck transaction
+//! (unlike dark fees, the new bid is public), and replacements churn the
+//! arrival order the ε-margin of §4.2.1 must absorb.
+
+use crate::mempool::{AcceptError, Mempool};
+use cn_chain::{Amount, FeeRate, Timestamp, Transaction, Txid};
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a replacement was refused (BIP-125 rule names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RbfError {
+    /// The transaction conflicts with nothing — plain `add` applies.
+    NoConflict,
+    /// Admission failed for a non-conflict reason (fee floor, limits…).
+    Admission(AcceptError),
+    /// Rule 3: replacement must pay more absolute fee than everything it
+    /// evicts.
+    InsufficientFee {
+        /// Fee offered by the replacement.
+        offered: Amount,
+        /// Combined fees of the transactions it would evict.
+        displaced: Amount,
+    },
+    /// Rule 4: replacement must additionally pay for its own relay
+    /// bandwidth at the minimum rate.
+    InsufficientFeeRate,
+    /// Rule 5: too many transactions would be evicted (Core caps at 100).
+    TooManyEvicted(usize),
+}
+
+impl fmt::Display for RbfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RbfError::NoConflict => write!(f, "no in-pool conflict to replace"),
+            RbfError::Admission(e) => write!(f, "admission failed: {e}"),
+            RbfError::InsufficientFee { offered, displaced } => {
+                write!(f, "fee {offered} does not exceed displaced {displaced}")
+            }
+            RbfError::InsufficientFeeRate => write!(f, "replacement does not pay for its relay"),
+            RbfError::TooManyEvicted(n) => write!(f, "would evict {n} transactions (cap 100)"),
+        }
+    }
+}
+
+impl std::error::Error for RbfError {}
+
+/// Outcome of a successful replacement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replacement {
+    /// The admitted transaction.
+    pub txid: Txid,
+    /// Everything evicted (conflicts plus their descendants).
+    pub evicted: Vec<Txid>,
+}
+
+/// Maximum transactions a single replacement may evict (BIP-125 rule 5).
+pub const MAX_REPLACEMENT_EVICTIONS: usize = 100;
+
+impl Mempool {
+    /// Attempts to admit `tx`, replacing any in-pool conflicts under
+    /// BIP-125-style rules. Falls back to plain admission when there is
+    /// no conflict (returned as `Replacement` with no evictions).
+    pub fn add_with_rbf(
+        &mut self,
+        tx: Arc<Transaction>,
+        fee: Amount,
+        now: Timestamp,
+    ) -> Result<Replacement, RbfError> {
+        // Find direct conflicts.
+        let mut conflicts: HashSet<Txid> = HashSet::new();
+        for input in tx.inputs() {
+            if let Some(rival) = self.spender_of(&input.prevout) {
+                conflicts.insert(rival);
+            }
+        }
+        if conflicts.is_empty() {
+            return match self.add_shared(tx, fee, now) {
+                Ok(txid) => Ok(Replacement { txid, evicted: Vec::new() }),
+                Err(e) => Err(RbfError::Admission(e)),
+            };
+        }
+        // Collect the full eviction set: conflicts plus descendants.
+        let mut evict: Vec<Txid> = Vec::new();
+        let mut seen: HashSet<Txid> = HashSet::new();
+        for c in &conflicts {
+            if seen.insert(*c) {
+                evict.push(*c);
+            }
+            for d in self.descendants(c) {
+                if seen.insert(d) {
+                    evict.push(d);
+                }
+            }
+        }
+        if evict.len() > MAX_REPLACEMENT_EVICTIONS {
+            return Err(RbfError::TooManyEvicted(evict.len()));
+        }
+        // Rule 3: strictly more absolute fee than everything displaced.
+        let displaced: Amount = evict
+            .iter()
+            .filter_map(|t| self.get(t).map(|e| e.fee()))
+            .sum();
+        if fee <= displaced {
+            return Err(RbfError::InsufficientFee { offered: fee, displaced });
+        }
+        // Rule 4: the increment must pay for the replacement's own relay.
+        let increment = fee - displaced;
+        let min_rate = self.policy().min_fee_rate.unwrap_or(FeeRate::MIN_RELAY);
+        if increment < min_rate.fee_for_vsize(tx.vsize()) {
+            return Err(RbfError::InsufficientFeeRate);
+        }
+        // Evict, then admit. Admission can still fail (e.g. package
+        // limits); restore nothing in that case — Core behaves the same
+        // way only transactionally, so check admission preconditions that
+        // eviction cannot fix *before* evicting: after removing all
+        // conflicts, the only remaining failure modes are fee floor and
+        // package limits, both computable now.
+        let rate = FeeRate::from_fee_and_vsize(fee, tx.vsize());
+        if let Some(floor) = self.policy().min_fee_rate {
+            if rate < floor {
+                return Err(RbfError::Admission(AcceptError::BelowMinFeeRate {
+                    offered: rate,
+                    floor,
+                }));
+            }
+        }
+        for t in &evict {
+            self.remove_with_descendants(t);
+        }
+        match self.add_shared(tx, fee, now) {
+            Ok(txid) => Ok(Replacement { txid, evicted: evict }),
+            Err(e) => Err(RbfError::Admission(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::MempoolPolicy;
+    use cn_chain::{Address, TxOut};
+
+    fn tx_spending(seed: u8, vout: u32, script_len: usize, out_sats: u64) -> Arc<Transaction> {
+        Arc::new(
+            Transaction::builder()
+                .add_input_with_sizes([seed; 32].into(), vout, script_len, 0)
+                .add_output(TxOut::to_address(Amount::from_sat(out_sats), Address::from_label("r")))
+                .build(),
+        )
+    }
+
+    fn child_of(parent: &Transaction, out_sats: u64) -> Arc<Transaction> {
+        Arc::new(
+            Transaction::builder()
+                .add_input_with_sizes(parent.txid(), 0, 107, 0)
+                .add_output(TxOut::to_address(Amount::from_sat(out_sats), Address::from_label("c")))
+                .build(),
+        )
+    }
+
+    fn pool() -> Mempool {
+        Mempool::new(MempoolPolicy::default())
+    }
+
+    #[test]
+    fn no_conflict_falls_back_to_plain_add() {
+        let mut p = pool();
+        let tx = tx_spending(1, 0, 107, 10_000);
+        let r = p.add_with_rbf(tx.clone(), Amount::from_sat(1_000), 0).expect("admitted");
+        assert!(r.evicted.is_empty());
+        assert!(p.contains(&tx.txid()));
+    }
+
+    #[test]
+    fn replacement_needs_higher_absolute_fee() {
+        let mut p = pool();
+        let original = tx_spending(1, 0, 107, 10_000);
+        p.add_shared(original.clone(), Amount::from_sat(5_000), 0).expect("in");
+        // Same prevout, different script size -> conflicting txid.
+        let cheap = tx_spending(1, 0, 108, 9_000);
+        let err = p.add_with_rbf(cheap, Amount::from_sat(5_000), 1).expect_err("too cheap");
+        assert!(matches!(err, RbfError::InsufficientFee { .. }));
+        assert!(p.contains(&original.txid()), "original survives a failed RBF");
+    }
+
+    #[test]
+    fn replacement_must_pay_for_relay() {
+        let mut p = pool();
+        let original = tx_spending(1, 0, 107, 10_000);
+        p.add_shared(original, Amount::from_sat(5_000), 0).expect("in");
+        let bumped = tx_spending(1, 0, 108, 9_000);
+        // One satoshi more does not cover ~190 vB of relay at 1 sat/vB.
+        let err = p.add_with_rbf(bumped, Amount::from_sat(5_001), 1).expect_err("stingy");
+        assert_eq!(err, RbfError::InsufficientFeeRate);
+    }
+
+    #[test]
+    fn successful_replacement_evicts_conflict_and_descendants() {
+        let mut p = pool();
+        let original = tx_spending(1, 0, 107, 50_000);
+        let child = child_of(&original, 40_000);
+        p.add_shared(original.clone(), Amount::from_sat(5_000), 0).expect("in");
+        p.add_shared(child.clone(), Amount::from_sat(2_000), 1).expect("in");
+        let replacement = tx_spending(1, 0, 108, 9_000);
+        let r = p
+            .add_with_rbf(replacement.clone(), Amount::from_sat(8_000), 2)
+            .expect("replaces");
+        assert_eq!(r.evicted.len(), 2);
+        assert!(!p.contains(&original.txid()));
+        assert!(!p.contains(&child.txid()));
+        assert!(p.contains(&replacement.txid()));
+        // 7000-sat increment over 190 vB covers relay comfortably.
+    }
+
+    #[test]
+    fn replacement_fee_must_exceed_whole_package() {
+        let mut p = pool();
+        let original = tx_spending(1, 0, 107, 50_000);
+        let child = child_of(&original, 40_000);
+        p.add_shared(original, Amount::from_sat(5_000), 0).expect("in");
+        p.add_shared(child, Amount::from_sat(5_000), 1).expect("in");
+        // Beats the parent alone but not parent+child.
+        let replacement = tx_spending(1, 0, 108, 9_000);
+        let err =
+            p.add_with_rbf(replacement, Amount::from_sat(9_000), 2).expect_err("underpays");
+        assert!(matches!(
+            err,
+            RbfError::InsufficientFee { displaced, .. } if displaced == Amount::from_sat(10_000)
+        ));
+    }
+
+    #[test]
+    fn multi_conflict_replacement() {
+        let mut p = pool();
+        // Two originals spending different outpoints.
+        let a = tx_spending(1, 0, 107, 10_000);
+        let b = tx_spending(2, 0, 107, 10_000);
+        p.add_shared(a.clone(), Amount::from_sat(3_000), 0).expect("in");
+        p.add_shared(b.clone(), Amount::from_sat(3_000), 0).expect("in");
+        // One replacement double-spending both.
+        let replacement = Arc::new(
+            Transaction::builder()
+                .add_input_with_sizes([1; 32].into(), 0, 108, 0)
+                .add_input_with_sizes([2; 32].into(), 0, 108, 0)
+                .add_output(TxOut::to_address(Amount::from_sat(15_000), Address::from_label("r")))
+                .build(),
+        );
+        let r = p.add_with_rbf(replacement, Amount::from_sat(7_000), 1).expect("replaces both");
+        assert_eq!(r.evicted.len(), 2);
+        assert!(!p.contains(&a.txid()) && !p.contains(&b.txid()));
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn below_floor_replacement_rejected_without_eviction() {
+        let mut p = pool();
+        let original = tx_spending(1, 0, 107, 10_000);
+        p.add_shared(original.clone(), Amount::from_sat(5_000), 0).expect("in");
+        // Replacement paying more in total but the *rate* below floor is
+        // impossible here (more fee, similar size), so emulate with a
+        // giant low-rate transaction.
+        let big = Arc::new(
+            Transaction::builder()
+                .add_input_with_sizes([1; 32].into(), 0, 20_000, 0)
+                .add_output(TxOut::to_address(Amount::from_sat(1_000), Address::from_label("r")))
+                .build(),
+        );
+        let fee = Amount::from_sat(5_100); // > displaced, but ~0.25 sat/vB
+        let err = p.add_with_rbf(big, fee, 1).expect_err("below floor");
+        assert!(matches!(err, RbfError::Admission(AcceptError::BelowMinFeeRate { .. })
+            | RbfError::InsufficientFeeRate));
+        assert!(p.contains(&original.txid()), "original must survive");
+    }
+}

@@ -1,0 +1,158 @@
+//! Mempool snapshots — the paper's primary measurement artifact.
+//!
+//! Datasets 𝒜 and ℬ are streams of snapshots taken every 15 seconds from an
+//! observer node. Each snapshot records, for every unconfirmed transaction,
+//! when it was first seen and what fee rate it offers; the audit layer joins
+//! these with the chain to compute commit delays, congestion levels, and
+//! ordering-violation pairs.
+//!
+//! Snapshots come in two weights: *detailed* (per-transaction rows — what
+//! the paper's datasets contain) and *light* (aggregate backlog size only).
+//! A year-scale simulation cannot afford per-transaction rows every 15
+//! seconds, so the simulator interleaves them; every congestion analysis
+//! works on the aggregate, and per-transaction analyses use the detailed
+//! subset.
+
+use cn_chain::{Amount, FeeRate, Timestamp, Txid};
+
+/// One transaction's row within a detailed snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// The transaction id.
+    pub txid: Txid,
+    /// When the observer first received it.
+    pub received: Timestamp,
+    /// The absolute fee it offers.
+    pub fee: Amount,
+    /// Its virtual size.
+    pub vsize: u64,
+    /// True when a parent was still unconfirmed at snapshot time — such
+    /// entries are CPFP candidates, which §4.2.1 excludes from
+    /// violation-pair counting.
+    pub has_unconfirmed_parent: bool,
+}
+
+impl SnapshotEntry {
+    /// The entry's standalone fee rate.
+    pub fn fee_rate(&self) -> FeeRate {
+        FeeRate::from_fee_and_vsize(self.fee, self.vsize)
+    }
+}
+
+/// The state of a Mempool at one instant.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MempoolSnapshot {
+    /// Snapshot time.
+    pub time: Timestamp,
+    /// Resident transactions, sorted by txid (empty for light snapshots).
+    pub entries: Vec<SnapshotEntry>,
+    detailed: bool,
+    count: usize,
+    vsize: u64,
+}
+
+impl MempoolSnapshot {
+    /// Builds a detailed snapshot from per-transaction rows.
+    pub fn from_entries(time: Timestamp, mut entries: Vec<SnapshotEntry>) -> MempoolSnapshot {
+        entries.sort_by_key(|e| e.txid);
+        let count = entries.len();
+        let vsize = entries.iter().map(|e| e.vsize).sum();
+        MempoolSnapshot { time, entries, detailed: true, count, vsize }
+    }
+
+    /// Builds a light snapshot carrying only aggregates.
+    pub fn light(time: Timestamp, count: usize, vsize: u64) -> MempoolSnapshot {
+        MempoolSnapshot { time, entries: Vec::new(), detailed: false, count, vsize }
+    }
+
+    /// True when per-transaction rows are present.
+    pub fn is_detailed(&self) -> bool {
+        self.detailed
+    }
+
+    /// Number of unconfirmed transactions at snapshot time.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when no transactions were pending.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Aggregate virtual size — compared against the 1 MB block capacity to
+    /// classify congestion (Figure 3).
+    pub fn total_vsize(&self) -> u64 {
+        self.vsize
+    }
+
+    /// The congestion bin of §4.1.2 given a block capacity in vbytes:
+    /// 0 = below capacity (no congestion), 1 = (1x, 2x], 2 = (2x, 4x],
+    /// 3 = above 4x (highest congestion).
+    pub fn congestion_bin(&self, block_capacity: u64) -> usize {
+        let size = self.total_vsize();
+        if size <= block_capacity {
+            0
+        } else if size <= 2 * block_capacity {
+            1
+        } else if size <= 4 * block_capacity {
+            2
+        } else {
+            3
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seed: u8, vsize: u64, fee: u64) -> SnapshotEntry {
+        SnapshotEntry {
+            txid: Txid::from([seed; 32]),
+            received: 0,
+            fee: Amount::from_sat(fee),
+            vsize,
+            has_unconfirmed_parent: false,
+        }
+    }
+
+    #[test]
+    fn detailed_snapshot_aggregates_entries() {
+        let snap = MempoolSnapshot::from_entries(15, vec![entry(2, 300, 600), entry(1, 250, 500)]);
+        assert_eq!(snap.total_vsize(), 550);
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+        assert!(snap.is_detailed());
+        // Entries sorted by txid for determinism.
+        assert_eq!(snap.entries[0].txid, Txid::from([1; 32]));
+    }
+
+    #[test]
+    fn light_snapshot_keeps_aggregates_only() {
+        let snap = MempoolSnapshot::light(30, 1_000, 275_000);
+        assert!(!snap.is_detailed());
+        assert!(snap.entries.is_empty());
+        assert_eq!(snap.len(), 1_000);
+        assert_eq!(snap.total_vsize(), 275_000);
+    }
+
+    #[test]
+    fn congestion_bins_match_paper_boundaries() {
+        let cap = 1_000_000u64;
+        let mk = |v: u64| MempoolSnapshot::light(0, 1, v);
+        assert_eq!(mk(0).congestion_bin(cap), 0);
+        assert_eq!(mk(cap).congestion_bin(cap), 0);
+        assert_eq!(mk(cap + 1).congestion_bin(cap), 1);
+        assert_eq!(mk(2 * cap).congestion_bin(cap), 1);
+        assert_eq!(mk(2 * cap + 1).congestion_bin(cap), 2);
+        assert_eq!(mk(4 * cap).congestion_bin(cap), 2);
+        assert_eq!(mk(4 * cap + 1).congestion_bin(cap), 3);
+    }
+
+    #[test]
+    fn fee_rate_computed_per_entry() {
+        let e = entry(1, 250, 500);
+        assert_eq!(e.fee_rate(), FeeRate::from_sat_per_vb(2));
+    }
+}

@@ -1,0 +1,170 @@
+//! A dark-fee transaction acceleration service (§5.4).
+//!
+//! Large pools (BTC.com, AntPool, ViaBTC, F2Pool, Poolin) sell acceleration
+//! through their websites: the buyer pays an *opaque* fee, invisible to
+//! other miners and to the public fee market. §5.4.1's key empirical
+//! finding is that the quoted price is so high that, had it been offered
+//! publicly, the transaction would out-bid the entire Mempool. The quoting
+//! rule here reproduces exactly that property, and [`fee_multiple`]
+//! reproduces the Figure 14 comparison.
+
+use cn_chain::{Amount, FeeRate, Txid};
+use std::collections::HashMap;
+
+/// A pool's acceleration service: quoting, order book, public lookup.
+#[derive(Clone, Debug)]
+pub struct AccelerationService {
+    pool_name: String,
+    /// Paid orders: txid -> dark fee paid.
+    orders: HashMap<Txid, Amount>,
+    /// Multiplier applied on top of the Mempool's best fee rate when
+    /// quoting (>= 1.0; BTC.com's empirical multiples are far larger).
+    premium: f64,
+}
+
+impl AccelerationService {
+    /// Creates a service with the default 1.5× top-of-pool premium.
+    pub fn new(pool_name: impl Into<String>) -> AccelerationService {
+        AccelerationService { pool_name: pool_name.into(), orders: HashMap::new(), premium: 1.5 }
+    }
+
+    /// Adjusts the quoting premium.
+    ///
+    /// # Panics
+    /// Panics when `premium < 1.0` — quoting below top-of-pool would
+    /// contradict the §5.4.1 observation the model encodes.
+    pub fn with_premium(mut self, premium: f64) -> AccelerationService {
+        assert!(premium >= 1.0, "premium must be >= 1.0, got {premium}");
+        self.premium = premium;
+        self
+    }
+
+    /// The operating pool's name.
+    pub fn pool_name(&self) -> &str {
+        &self.pool_name
+    }
+
+    /// Quotes the dark fee for accelerating a transaction of `vsize` vbytes
+    /// currently offering `public_fee`, when the best fee rate anywhere in
+    /// the Mempool is `top_rate`.
+    ///
+    /// The quote is the smallest payment that lifts the transaction's
+    /// *total* (public + dark) fee rate to `premium ×` the top of the pool —
+    /// so an accelerated transaction always outranks every public bidder.
+    pub fn quote(&self, vsize: u64, public_fee: Amount, top_rate: FeeRate) -> Amount {
+        let target_rate =
+            FeeRate::from_sat_per_kvb((top_rate.to_sat_per_kvb() as f64 * self.premium) as u64)
+                .max(FeeRate::MIN_RELAY);
+        let target_fee = target_rate.fee_for_vsize(vsize);
+        target_fee.saturating_sub(public_fee).max(Amount::ONE_SAT)
+    }
+
+    /// Records a paid acceleration order.
+    pub fn accelerate(&mut self, txid: Txid, payment: Amount) {
+        self.orders.insert(txid, payment);
+    }
+
+    /// Public lookup, mirroring BTC.com's "check if a transaction was
+    /// accelerated" endpoint the paper used for ground truth (§5.4.2).
+    pub fn is_accelerated(&self, txid: &Txid) -> bool {
+        self.orders.contains_key(txid)
+    }
+
+    /// The dark fee paid for `txid`, if any.
+    pub fn paid_fee(&self, txid: &Txid) -> Option<Amount> {
+        self.orders.get(txid).copied()
+    }
+
+    /// Number of outstanding orders.
+    pub fn order_count(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Iterates all orders.
+    pub fn orders(&self) -> impl Iterator<Item = (&Txid, &Amount)> {
+        self.orders.iter()
+    }
+
+    /// Drops an order (e.g. once confirmed, for bookkeeping hygiene).
+    pub fn settle(&mut self, txid: &Txid) -> Option<Amount> {
+        self.orders.remove(txid)
+    }
+}
+
+/// The Figure 14 statistic: how many times larger the acceleration fee is
+/// than the transaction's public fee. Returns `None` for a zero public fee
+/// (the ratio is unbounded; the paper's snapshot had none).
+pub fn fee_multiple(public_fee: Amount, acceleration_fee: Amount) -> Option<f64> {
+    if public_fee.is_zero() {
+        return None;
+    }
+    Some(acceleration_fee.to_sat() as f64 / public_fee.to_sat() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txid(n: u8) -> Txid {
+        Txid::from([n; 32])
+    }
+
+    #[test]
+    fn quote_beats_entire_pool() {
+        let svc = AccelerationService::new("BTC.com");
+        let top = FeeRate::from_sat_per_vb(80);
+        let vsize = 250u64;
+        let public_fee = Amount::from_sat(500); // 2 sat/vB
+        let dark = svc.quote(vsize, public_fee, top);
+        let total_rate = FeeRate::from_fee_and_vsize(public_fee + dark, vsize);
+        assert!(total_rate > top, "total {total_rate} must beat top {top}");
+    }
+
+    #[test]
+    fn quote_scales_with_congestion() {
+        let svc = AccelerationService::new("p");
+        let calm = svc.quote(250, Amount::from_sat(500), FeeRate::from_sat_per_vb(2));
+        let congested = svc.quote(250, Amount::from_sat(500), FeeRate::from_sat_per_vb(200));
+        assert!(congested > calm);
+    }
+
+    #[test]
+    fn quote_is_never_zero() {
+        let svc = AccelerationService::new("p");
+        // Already the top transaction: still charged a token satoshi.
+        let q = svc.quote(250, Amount::from_sat(1_000_000), FeeRate::from_sat_per_vb(1));
+        assert!(q >= Amount::ONE_SAT);
+    }
+
+    #[test]
+    fn order_book_round_trip() {
+        let mut svc = AccelerationService::new("ViaBTC");
+        assert!(!svc.is_accelerated(&txid(1)));
+        svc.accelerate(txid(1), Amount::from_sat(50_000));
+        assert!(svc.is_accelerated(&txid(1)));
+        assert_eq!(svc.paid_fee(&txid(1)), Some(Amount::from_sat(50_000)));
+        assert_eq!(svc.order_count(), 1);
+        assert_eq!(svc.settle(&txid(1)), Some(Amount::from_sat(50_000)));
+        assert!(!svc.is_accelerated(&txid(1)));
+    }
+
+    #[test]
+    fn fee_multiple_matches_definition() {
+        assert_eq!(fee_multiple(Amount::from_sat(100), Amount::from_sat(11_664)), Some(116.64));
+        assert_eq!(fee_multiple(Amount::ZERO, Amount::from_sat(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "premium must be >= 1.0")]
+    fn discount_premium_rejected() {
+        let _ = AccelerationService::new("p").with_premium(0.5);
+    }
+
+    #[test]
+    fn premium_raises_quote() {
+        let base = AccelerationService::new("p");
+        let pricey = AccelerationService::new("p").with_premium(5.0);
+        let top = FeeRate::from_sat_per_vb(50);
+        assert!(pricey.quote(250, Amount::ZERO, top) > base.quote(250, Amount::ZERO, top));
+    }
+}

@@ -1,0 +1,37 @@
+//! # cn-miner — block templates, prioritization policies, acceleration
+//!
+//! Reproduces the machinery the paper's norms come from, plus the
+//! deviations it detects:
+//!
+//! * [`template::BlockAssembler`] — a `GetBlockTemplate`-style greedy
+//!   assembler: CPFP-aware ancestor-package *selection* (norm I) and
+//!   fee-rate *ordering* within the block (norm II), subject to the block
+//!   weight limit.
+//! * [`policy`] — the [`policy::MinerPolicy`] trait and implementations for
+//!   every behaviour the paper studies: norm-following, selfish
+//!   acceleration of a pool's own transactions, collusive acceleration of a
+//!   partner pool's transactions, dark-fee acceleration, and
+//!   deceleration/censoring of blacklisted payments.
+//! * [`acceleration`] — an opaque side-channel acceleration service
+//!   modelled on BTC.com's: quotes a dark fee high enough to beat the
+//!   entire current Mempool (the empirical observation of §5.4.1), records
+//!   orders, and answers public "was this accelerated?" queries.
+//! * [`pool::MiningPool`] — a pool operator: marker, reward wallets, hash
+//!   rate, policy, optional acceleration service; turns a Mempool into a
+//!   full [`cn_chain::Block`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acceleration;
+pub mod policy;
+pub mod pool;
+pub mod template;
+
+pub use acceleration::AccelerationService;
+pub use policy::{
+    AddressAccelerationPolicy, CensorPolicy, CompositePolicy, DarkFeePolicy, MinerPolicy,
+    NormPolicy, Priority, TxContext,
+};
+pub use pool::MiningPool;
+pub use template::{BlockAssembler, BlockTemplate};

@@ -1,0 +1,672 @@
+//! `GetBlockTemplate`-style block template construction.
+//!
+//! Reproduces the two norms the protocol's shared implementation encodes
+//! (§2.1 of the paper):
+//!
+//! * **Norm I (selection)** — candidates are drawn greedily by *ancestor
+//!   package* fee rate (CPFP-aware, as Bitcoin Core's `BlockAssembler`
+//!   does), until the weight budget is exhausted.
+//! * **Norm II (ordering)** — within the block, transactions are placed in
+//!   descending fee-rate order, subject only to the topological constraint
+//!   that parents precede children.
+//!
+//! Deviations are injected through a [`Priority`] classifier: accelerated
+//! transactions are selected and placed *first* (dragging their ancestors
+//! along), decelerated ones are deferred to the residual space at the
+//! *bottom*, excluded ones (and, necessarily, their descendants) never
+//! appear. This is exactly the lever the paper's SPPE detector measures.
+
+use crate::policy::Priority;
+use cn_chain::{Amount, Params, Transaction, Txid};
+use cn_mempool::{Mempool, MempoolEntry};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// The product of template construction: ordered body transactions plus
+/// their fees (coinbase is the pool's job).
+#[derive(Clone, Debug)]
+pub struct BlockTemplate {
+    /// Body transactions in final block order.
+    pub transactions: Vec<Transaction>,
+    /// Fee of each transaction, parallel to `transactions`.
+    pub fees: Vec<Amount>,
+    /// Total fees offered by the body.
+    pub total_fees: Amount,
+    /// Total body weight in weight units.
+    pub total_weight: u64,
+}
+
+impl BlockTemplate {
+    /// Number of body transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when the template selected nothing.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+}
+
+/// Ancestor-package score compared exactly (cross-multiplied), as fee-rate
+/// division would introduce rounding ties.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PackageScore {
+    fee: u64,
+    vsize: u64,
+    /// Arrival sequence for deterministic tie-breaks (earlier wins).
+    seq: u64,
+}
+
+impl Ord for PackageScore {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.fee as u128 * other.vsize as u128;
+        let rhs = other.fee as u128 * self.vsize as u128;
+        lhs.cmp(&rhs)
+            // Smaller packages first among equal rates (Core's heuristic).
+            .then_with(|| other.vsize.cmp(&self.vsize))
+            // Earlier arrival wins: greater-is-better, so compare reversed.
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for PackageScore {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct HeapItem {
+    score: PackageScore,
+    txid: Txid,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score.cmp(&other.score).then_with(|| self.txid.cmp(&other.txid))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A `GetBlockTemplate`-style assembler.
+///
+/// ```
+/// use cn_miner::{BlockAssembler, Priority};
+/// use cn_mempool::{Mempool, MempoolPolicy};
+/// use cn_chain::{Address, Amount, Params, Transaction, TxOut};
+///
+/// let mut pool = Mempool::new(MempoolPolicy::default());
+/// for (seed, rate) in [(1u8, 5u64), (2, 50)] {
+///     let tx = Transaction::builder()
+///         .add_input_with_sizes([seed; 32].into(), 0, 107, 0)
+///         .add_output(TxOut::to_address(Amount::from_sat(1_000), Address::from_label("r")))
+///         .build();
+///     let fee = Amount::from_sat(tx.vsize() * rate);
+///     pool.add(tx, fee, 0).unwrap();
+/// }
+/// let tpl = BlockAssembler::new(Params::mainnet()).assemble(&pool, |_| Priority::Normal);
+/// // Norm II: the 50 sat/vB transaction leads the block.
+/// assert_eq!(tpl.len(), 2);
+/// assert!(tpl.fees[0] > tpl.fees[1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BlockAssembler {
+    params: Params,
+}
+
+impl BlockAssembler {
+    /// Creates an assembler for the given chain parameters.
+    pub fn new(params: Params) -> BlockAssembler {
+        BlockAssembler { params }
+    }
+
+    /// The body weight budget (block limit minus coinbase reservation).
+    pub fn weight_budget(&self) -> u64 {
+        self.params
+            .max_block_weight
+            .saturating_sub(self.params.coinbase_reserved_weight)
+    }
+
+    /// Builds a template from `mempool`, classifying each candidate with
+    /// `classify` (use `|_| Priority::Normal` for a norm-following miner).
+    pub fn assemble<F>(&self, mempool: &Mempool, classify: F) -> BlockTemplate
+    where
+        F: Fn(&MempoolEntry) -> Priority,
+    {
+        let mut priorities: HashMap<Txid, Priority> = HashMap::with_capacity(mempool.len());
+        for entry in mempool.iter() {
+            priorities.insert(entry.txid(), classify(entry));
+        }
+        // Exclusion propagates downward: a descendant of an excluded
+        // transaction cannot be mined (its input would be missing).
+        let excluded_seeds: Vec<Txid> = priorities
+            .iter()
+            .filter(|(_, p)| **p == Priority::Exclude)
+            .map(|(t, _)| *t)
+            .collect();
+        for seed in excluded_seeds {
+            for d in mempool.descendants(&seed) {
+                priorities.insert(d, Priority::Exclude);
+            }
+        }
+        // Acceleration propagates upward: committing an accelerated child
+        // requires committing its ancestors, at the same priority (this is
+        // how real acceleration services honour CPFP packages).
+        let accelerated_seeds: Vec<Txid> = priorities
+            .iter()
+            .filter(|(_, p)| **p == Priority::Accelerate)
+            .map(|(t, _)| *t)
+            .collect();
+        for seed in accelerated_seeds {
+            for a in mempool.ancestors(&seed) {
+                if priorities.get(&a) != Some(&Priority::Exclude) {
+                    priorities.insert(a, Priority::Accelerate);
+                }
+            }
+        }
+        // Deceleration propagates downward: a package containing a
+        // decelerated ancestor is deferred with it (unless the child is
+        // itself accelerated, which re-prioritizes the package upward and
+        // was handled above).
+        let decelerated_seeds: Vec<Txid> = priorities
+            .iter()
+            .filter(|(_, p)| **p == Priority::Decelerate)
+            .map(|(t, _)| *t)
+            .collect();
+        for seed in decelerated_seeds {
+            if priorities.get(&seed) != Some(&Priority::Decelerate) {
+                continue; // was re-prioritized by an accelerated descendant
+            }
+            for d in mempool.descendants(&seed) {
+                if priorities.get(&d) == Some(&Priority::Normal) {
+                    priorities.insert(d, Priority::Decelerate);
+                }
+            }
+        }
+
+        let budget = self.weight_budget();
+        let mut selected: Vec<Txid> = Vec::new();
+        let mut selected_set: HashSet<Txid> = HashSet::new();
+        let mut used_weight = 0u64;
+
+        // Phase A: accelerated packages, best-rate first.
+        self.select_phase(
+            mempool,
+            &priorities,
+            Priority::Accelerate,
+            budget,
+            &mut used_weight,
+            &mut selected,
+            &mut selected_set,
+        );
+        // Phase B: the norm — normal packages.
+        self.select_phase(
+            mempool,
+            &priorities,
+            Priority::Normal,
+            budget,
+            &mut used_weight,
+            &mut selected,
+            &mut selected_set,
+        );
+        // Phase C: decelerated packages fill what is left.
+        self.select_phase(
+            mempool,
+            &priorities,
+            Priority::Decelerate,
+            budget,
+            &mut used_weight,
+            &mut selected,
+            &mut selected_set,
+        );
+
+        self.order_and_finish(mempool, &priorities, selected)
+    }
+
+    /// Greedy ancestor-package selection restricted to one priority class.
+    #[allow(clippy::too_many_arguments)]
+    fn select_phase(
+        &self,
+        mempool: &Mempool,
+        priorities: &HashMap<Txid, Priority>,
+        phase: Priority,
+        budget: u64,
+        used_weight: &mut u64,
+        selected: &mut Vec<Txid>,
+        selected_set: &mut HashSet<Txid>,
+    ) {
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        for entry in mempool.iter() {
+            let txid = entry.txid();
+            if priorities.get(&txid) != Some(&phase) || selected_set.contains(&txid) {
+                continue;
+            }
+            if let Some(score) = self.package_score(mempool, &txid, selected_set, priorities, phase)
+            {
+                heap.push(HeapItem { score, txid });
+            }
+        }
+        while let Some(item) = heap.pop() {
+            if selected_set.contains(&item.txid) {
+                continue; // already swept in as someone's ancestor
+            }
+            // Stale check: recompute authoritative score; if it changed
+            // (an ancestor was selected meanwhile), reinsert and retry.
+            let Some(score) =
+                self.package_score(mempool, &item.txid, selected_set, priorities, phase)
+            else {
+                continue; // package no longer eligible in this phase
+            };
+            if score != item.score {
+                heap.push(HeapItem { score, txid: item.txid });
+                continue;
+            }
+            // Gather the unselected ancestors + self, check the fit.
+            let mut package: Vec<Txid> = mempool
+                .ancestors(&item.txid)
+                .into_iter()
+                .filter(|a| !selected_set.contains(a))
+                .collect();
+            package.push(item.txid);
+            let weight: u64 = package
+                .iter()
+                .map(|t| mempool.get(t).expect("resident").tx().weight())
+                .sum();
+            if *used_weight + weight > budget {
+                continue; // does not fit; try the next-best package
+            }
+            // Include ancestors before the child (topological within package).
+            package.sort_by_key(|t| {
+                let depth = mempool.ancestors(t).len();
+                (depth, mempool.get(t).expect("resident").sequence())
+            });
+            for txid in package {
+                if selected_set.insert(txid) {
+                    selected.push(txid);
+                }
+            }
+            *used_weight += weight;
+            // Descendants of what we just took have new package scores.
+            for d in mempool.descendants(&item.txid) {
+                if priorities.get(&d) == Some(&phase) && !selected_set.contains(&d) {
+                    if let Some(score) =
+                        self.package_score(mempool, &d, selected_set, priorities, phase)
+                    {
+                        heap.push(HeapItem { score, txid: d });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Score of `txid`'s package (self + unselected in-pool ancestors), or
+    /// `None` when the package contains a member this phase must not pull
+    /// in (excluded always; lower-priority members only in their own phase).
+    fn package_score(
+        &self,
+        mempool: &Mempool,
+        txid: &Txid,
+        selected_set: &HashSet<Txid>,
+        priorities: &HashMap<Txid, Priority>,
+        phase: Priority,
+    ) -> Option<PackageScore> {
+        let entry = mempool.get(txid)?;
+        let mut fee = entry.fee().to_sat();
+        let mut vsize = entry.vsize();
+        let seq = entry.sequence();
+        for a in mempool.ancestors(txid) {
+            if selected_set.contains(&a) {
+                continue;
+            }
+            match priorities.get(&a) {
+                Some(Priority::Exclude) => return None,
+                // An ancestor in a *lower* phase cannot be pulled in by a
+                // higher phase; Accelerate ancestors were already promoted.
+                Some(p) if *p != phase && phase != Priority::Accelerate => return None,
+                _ => {}
+            }
+            let e = mempool.get(&a).expect("ancestors resident");
+            fee += e.fee().to_sat();
+            vsize += e.vsize();
+        }
+        Some(PackageScore { fee, vsize, seq })
+    }
+
+    /// Orders the selected set per norm II (fee-rate descending, parents
+    /// first, accelerated at the top, decelerated at the bottom) and
+    /// totals the template.
+    fn order_and_finish(
+        &self,
+        mempool: &Mempool,
+        priorities: &HashMap<Txid, Priority>,
+        selected: Vec<Txid>,
+    ) -> BlockTemplate {
+        let selected_set: HashSet<Txid> = selected.iter().copied().collect();
+        // Kahn's algorithm with a priority queue: among transactions whose
+        // selected parents are all placed, place the one with the best
+        // (segment, fee rate, arrival) key.
+        #[derive(PartialEq, Eq)]
+        struct OrderKey {
+            segment: u8, // 0 accelerated, 1 normal, 2 decelerated
+            rate_num: u64,
+            rate_den: u64,
+            seq: u64,
+            txid: Txid,
+        }
+        impl Ord for OrderKey {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // BinaryHeap pops the max; "better" must compare greater.
+                other
+                    .segment
+                    .cmp(&self.segment)
+                    .then_with(|| {
+                        let lhs = self.rate_num as u128 * other.rate_den as u128;
+                        let rhs = other.rate_num as u128 * self.rate_den as u128;
+                        lhs.cmp(&rhs)
+                    })
+                    .then_with(|| other.seq.cmp(&self.seq))
+                    .then_with(|| other.txid.cmp(&self.txid))
+            }
+        }
+        impl PartialOrd for OrderKey {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let segment_of = |txid: &Txid| -> u8 {
+            match priorities.get(txid) {
+                Some(Priority::Accelerate) => 0,
+                Some(Priority::Decelerate) => 2,
+                _ => 1,
+            }
+        };
+        let mut pending_parents: HashMap<Txid, usize> = HashMap::new();
+        for txid in &selected {
+            // Distinct parents: a child may spend several outputs of one
+            // parent, which still counts as a single placement dependency.
+            let parents: HashSet<Txid> = mempool
+                .get(txid)
+                .expect("resident")
+                .tx()
+                .inputs()
+                .iter()
+                .map(|i| i.prevout.txid)
+                .filter(|t| selected_set.contains(t))
+                .collect();
+            pending_parents.insert(*txid, parents.len());
+        }
+        let mut ready: BinaryHeap<OrderKey> = BinaryHeap::new();
+        let make_key = |txid: Txid| -> OrderKey {
+            let e = mempool.get(&txid).expect("resident");
+            OrderKey {
+                segment: segment_of(&txid),
+                rate_num: e.fee().to_sat(),
+                rate_den: e.vsize().max(1),
+                seq: e.sequence(),
+                txid,
+            }
+        };
+        for (txid, n) in &pending_parents {
+            if *n == 0 {
+                ready.push(make_key(*txid));
+            }
+        }
+        let mut ordered: Vec<Txid> = Vec::with_capacity(selected.len());
+        while let Some(key) = ready.pop() {
+            ordered.push(key.txid);
+            for child in mempool.descendants(&key.txid) {
+                if let Some(n) = pending_parents.get_mut(&child) {
+                    // Only direct children decrement; check parenthood.
+                    let is_direct = mempool
+                        .get(&child)
+                        .expect("resident")
+                        .tx()
+                        .inputs()
+                        .iter()
+                        .any(|i| i.prevout.txid == key.txid);
+                    if is_direct {
+                        *n = n.saturating_sub(1);
+                        if *n == 0 {
+                            ready.push(make_key(child));
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(ordered.len(), selected.len(), "ordering lost transactions");
+
+        let mut transactions = Vec::with_capacity(ordered.len());
+        let mut fees = Vec::with_capacity(ordered.len());
+        let mut total_fees = Amount::ZERO;
+        let mut total_weight = 0u64;
+        for txid in ordered {
+            let e = mempool.get(&txid).expect("resident");
+            total_fees += e.fee();
+            total_weight += e.tx().weight();
+            fees.push(e.fee());
+            transactions.push(e.tx().clone());
+        }
+        BlockTemplate { transactions, fees, total_fees, total_weight }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_chain::{Address, FeeRate, TxOut};
+    use cn_mempool::MempoolPolicy;
+
+    fn params() -> Params {
+        Params::mainnet()
+    }
+
+    fn tx_with(seed: u8, out_sats: u64) -> Transaction {
+        Transaction::builder()
+            .add_input_with_sizes([seed; 32].into(), 0, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(out_sats), Address::from_label("r")))
+            .build()
+    }
+
+    fn child_of(parent: &Transaction, out_sats: u64) -> Transaction {
+        Transaction::builder()
+            .add_input_with_sizes(parent.txid(), 0, 107, 0)
+            .add_output(TxOut::to_address(Amount::from_sat(out_sats), Address::from_label("c")))
+            .build()
+    }
+
+    fn add_at_rate(pool: &mut Mempool, tx: Transaction, sat_per_vb: u64, t: u64) -> Txid {
+        let fee = Amount::from_sat(tx.vsize() * sat_per_vb);
+        pool.add(tx, fee, t).expect("accepted")
+    }
+
+    #[test]
+    fn empty_mempool_empty_template() {
+        let pool = Mempool::new(MempoolPolicy::default());
+        let tpl = BlockAssembler::new(params()).assemble(&pool, |_| Priority::Normal);
+        assert!(tpl.is_empty());
+        assert_eq!(tpl.total_fees, Amount::ZERO);
+    }
+
+    #[test]
+    fn norm_orders_by_fee_rate_desc() {
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        let a = add_at_rate(&mut pool, tx_with(1, 1_000), 5, 0);
+        let b = add_at_rate(&mut pool, tx_with(2, 1_000), 50, 1);
+        let c = add_at_rate(&mut pool, tx_with(3, 1_000), 20, 2);
+        let tpl = BlockAssembler::new(params()).assemble(&pool, |_| Priority::Normal);
+        let order: Vec<Txid> = tpl.transactions.iter().map(|t| t.txid()).collect();
+        assert_eq!(order, vec![b, c, a]);
+        assert_eq!(tpl.len(), 3);
+    }
+
+    #[test]
+    fn weight_budget_respected() {
+        let mut small = params();
+        small.max_block_weight = 4_000 + 2 * tx_with(1, 1).weight(); // room for ~2 txs
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        add_at_rate(&mut pool, tx_with(1, 1_000), 10, 0);
+        add_at_rate(&mut pool, tx_with(2, 1_000), 30, 1);
+        add_at_rate(&mut pool, tx_with(3, 1_000), 20, 2);
+        let assembler = BlockAssembler::new(small);
+        let tpl = assembler.assemble(&pool, |_| Priority::Normal);
+        assert_eq!(tpl.len(), 2);
+        assert!(tpl.total_weight <= assembler.weight_budget());
+        // The two highest rates won.
+        let rates: Vec<u64> = tpl
+            .fees
+            .iter()
+            .zip(&tpl.transactions)
+            .map(|(f, t)| FeeRate::from_fee_and_vsize(*f, t.vsize()).to_sat_per_kvb() / 1000)
+            .collect();
+        assert_eq!(rates, vec![30, 20]);
+    }
+
+    #[test]
+    fn cpfp_package_selected_together_parent_first() {
+        let mut pool = Mempool::new(MempoolPolicy::accept_all());
+        // Low-fee parent alone would lose to mid; high-fee child rescues it.
+        let parent = tx_with(1, 50_000);
+        let child = child_of(&parent, 40_000);
+        let parent_id = pool.add(parent.clone(), Amount::from_sat(0), 0).expect("ok");
+        let child_fee = Amount::from_sat((parent.vsize() + child.vsize()) * 40);
+        let child_id = pool.add(child.clone(), child_fee, 1).expect("ok");
+        let mid = add_at_rate(&mut pool, tx_with(9, 1_000), 20, 2);
+
+        let mut small = params();
+        small.max_block_weight =
+            4_000 + parent.weight() + child.weight(); // no room for mid
+        let tpl = BlockAssembler::new(small).assemble(&pool, |_| Priority::Normal);
+        let order: Vec<Txid> = tpl.transactions.iter().map(|t| t.txid()).collect();
+        // Package rate 40 sat/vB beats mid's 20; parent must precede child.
+        assert_eq!(order, vec![parent_id, child_id]);
+        assert!(!order.contains(&mid));
+    }
+
+    #[test]
+    fn acceleration_puts_low_fee_tx_on_top() {
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        let whale = add_at_rate(&mut pool, tx_with(1, 1_000), 100, 0);
+        let sponsored = add_at_rate(&mut pool, tx_with(2, 1_000), 1, 1);
+        add_at_rate(&mut pool, tx_with(3, 1_000), 50, 2);
+        let tpl = BlockAssembler::new(params()).assemble(&pool, |e| {
+            if e.txid() == sponsored {
+                Priority::Accelerate
+            } else {
+                Priority::Normal
+            }
+        });
+        let order: Vec<Txid> = tpl.transactions.iter().map(|t| t.txid()).collect();
+        assert_eq!(order[0], sponsored, "accelerated tx must lead the block");
+        assert_eq!(order[1], whale);
+    }
+
+    #[test]
+    fn deceleration_sinks_to_bottom() {
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        let rich = add_at_rate(&mut pool, tx_with(1, 1_000), 100, 0);
+        add_at_rate(&mut pool, tx_with(2, 1_000), 50, 1);
+        let sunk = rich;
+        let tpl = BlockAssembler::new(params()).assemble(&pool, |e| {
+            if e.txid() == sunk {
+                Priority::Decelerate
+            } else {
+                Priority::Normal
+            }
+        });
+        let order: Vec<Txid> = tpl.transactions.iter().map(|t| t.txid()).collect();
+        assert_eq!(*order.last().expect("non-empty"), sunk);
+    }
+
+    #[test]
+    fn decelerated_dropped_first_under_contention() {
+        let mut small = params();
+        small.max_block_weight = 4_000 + tx_with(1, 1).weight(); // one tx fits
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        let rich = add_at_rate(&mut pool, tx_with(1, 1_000), 100, 0);
+        let poor = add_at_rate(&mut pool, tx_with(2, 1_000), 2, 1);
+        let tpl = BlockAssembler::new(small).assemble(&pool, |e| {
+            if e.txid() == rich {
+                Priority::Decelerate
+            } else {
+                Priority::Normal
+            }
+        });
+        // The decelerated 100 sat/vB tx loses its slot to the normal 2 sat/vB one.
+        let order: Vec<Txid> = tpl.transactions.iter().map(|t| t.txid()).collect();
+        assert_eq!(order, vec![poor]);
+    }
+
+    #[test]
+    fn exclusion_censors_tx_and_descendants() {
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        let parent = tx_with(1, 50_000);
+        let child = child_of(&parent, 40_000);
+        let parent_id = add_at_rate(&mut pool, parent.clone(), 30, 0);
+        let child_fee = Amount::from_sat(child.vsize() * 60);
+        let child_id = pool.add(child, child_fee, 1).expect("ok");
+        let bystander = add_at_rate(&mut pool, tx_with(5, 1_000), 5, 2);
+        let tpl = BlockAssembler::new(params()).assemble(&pool, |e| {
+            if e.txid() == parent_id {
+                Priority::Exclude
+            } else {
+                Priority::Normal
+            }
+        });
+        let order: Vec<Txid> = tpl.transactions.iter().map(|t| t.txid()).collect();
+        assert_eq!(order, vec![bystander]);
+        assert!(!order.contains(&parent_id));
+        assert!(!order.contains(&child_id), "orphaned child must be censored too");
+    }
+
+    #[test]
+    fn accelerated_child_drags_normal_parent_to_top() {
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        let parent = tx_with(1, 50_000);
+        let child = child_of(&parent, 40_000);
+        let parent_id = add_at_rate(&mut pool, parent, 1, 0);
+        let child_id = add_at_rate(&mut pool, child, 1, 1);
+        let whale = add_at_rate(&mut pool, tx_with(7, 1_000), 500, 2);
+        let tpl = BlockAssembler::new(params()).assemble(&pool, |e| {
+            if e.txid() == child_id {
+                Priority::Accelerate
+            } else {
+                Priority::Normal
+            }
+        });
+        let order: Vec<Txid> = tpl.transactions.iter().map(|t| t.txid()).collect();
+        assert_eq!(order[0], parent_id, "parent must be promoted with its child");
+        assert_eq!(order[1], child_id);
+        assert_eq!(order[2], whale);
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        for seed in 1..=10u8 {
+            add_at_rate(&mut pool, tx_with(seed, 1_000), (seed as u64) * 3, seed as u64);
+        }
+        let tpl = BlockAssembler::new(params()).assemble(&pool, |_| Priority::Normal);
+        assert_eq!(tpl.len(), 10);
+        let sum: Amount = tpl.fees.iter().copied().sum();
+        assert_eq!(sum, tpl.total_fees);
+        let weight: u64 = tpl.transactions.iter().map(|t| t.weight()).sum();
+        assert_eq!(weight, tpl.total_weight);
+    }
+
+    #[test]
+    fn tie_break_is_fifo() {
+        let mut pool = Mempool::new(MempoolPolicy::default());
+        let first = add_at_rate(&mut pool, tx_with(1, 1_000), 10, 0);
+        let second = add_at_rate(&mut pool, tx_with(2, 1_000), 10, 1);
+        let tpl = BlockAssembler::new(params()).assemble(&pool, |_| Priority::Normal);
+        let order: Vec<Txid> = tpl.transactions.iter().map(|t| t.txid()).collect();
+        assert_eq!(order, vec![first, second]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-link propagation delays.
+
+use crate::topology::Topology;
+use cn_stats::{LogNormal, SimRng};
+use std::collections::HashMap;
+
+/// Propagation latency for every edge of a topology, in (fractional)
+/// seconds.
+///
+/// Transaction relay in Bitcoin involves inv/getdata/tx round-trips plus
+/// batching delays, so effective per-hop latency is on the order of
+/// seconds; a log-normal captures its spread. Latencies are sampled once
+/// per link at construction (a link's delay is stable relative to the
+/// inter-arrival times we study).
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    link: HashMap<(usize, usize), f64>,
+}
+
+impl LatencyModel {
+    /// Samples link latencies: log-normal with the given median (seconds)
+    /// and log-space sigma.
+    pub fn sample(topology: &Topology, median_secs: f64, sigma: f64, rng: &mut SimRng) -> Self {
+        let dist = LogNormal::with_median(median_secs, sigma);
+        let mut link = HashMap::new();
+        for (a, b) in topology.edges() {
+            link.insert((a, b), dist.sample(rng));
+        }
+        LatencyModel { link }
+    }
+
+    /// The latency of the edge `{a, b}`.
+    ///
+    /// # Panics
+    /// Panics for a non-edge — a bug in the caller's traversal.
+    pub fn get(&self, a: usize, b: usize) -> f64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        *self.link.get(&key).unwrap_or_else(|| panic!("no edge {a}-{b}"))
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.link.len()
+    }
+
+    /// True when the model covers no links.
+    pub fn is_empty(&self) -> bool {
+        self.link.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Topology, LatencyModel) {
+        let mut rng = SimRng::seed_from_u64(4);
+        let t = Topology::random(12, &vec![4; 12], &mut rng);
+        let l = LatencyModel::sample(&t, 1.5, 0.6, &mut rng);
+        (t, l)
+    }
+
+    #[test]
+    fn covers_every_edge_symmetrically() {
+        let (t, l) = setup();
+        assert_eq!(l.len(), t.edges().count());
+        for (a, b) in t.edges() {
+            assert_eq!(l.get(a, b), l.get(b, a));
+            assert!(l.get(a, b) > 0.0);
+        }
+    }
+
+    #[test]
+    fn median_roughly_calibrated() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let t = Topology::random(100, &vec![10; 100], &mut rng);
+        let l = LatencyModel::sample(&t, 2.0, 0.5, &mut rng);
+        let mut values: Vec<f64> = t.edges().map(|(a, b)| l.get(a, b)).collect();
+        values.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let median = values[values.len() / 2];
+        assert!((median / 2.0 - 1.0).abs() < 0.25, "median {median}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn non_edge_panics() {
+        let (_, l) = setup();
+        let _ = l.get(0, 0);
+    }
+}

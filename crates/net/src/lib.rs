@@ -1,0 +1,30 @@
+//! # cn-net — simulated Bitcoin P2P substrate
+//!
+//! The paper's measurement nodes see transactions at different times than
+//! the miners do — that is why §4.2.1 tightens its violation test with an
+//! ε margin (10 s / 10 min) and why dataset ℬ's node was configured with
+//! 125 peers instead of the default 8. This crate models exactly the part
+//! of the P2P layer those details depend on: *who first hears about a
+//! transaction, and when*.
+//!
+//! * [`topology::Topology`] — random degree-bounded connected graphs; an
+//!   observer's peer count is its degree.
+//! * [`latency::LatencyModel`] — per-link log-normal propagation delays
+//!   (inv/getdata round-trips in real Bitcoin take on the order of
+//!   seconds).
+//! * [`network::Network`] — nodes with roles (relay, observer, miner hub),
+//!   each stakeholder holding its own [`cn_mempool::Mempool`] view.
+//!   Flooding is modelled exactly: under flood relay the first arrival at
+//!   a node equals the shortest-path latency from the origin, so
+//!   propagation is computed with Dijkstra rather than per-hop events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod latency;
+pub mod network;
+pub mod topology;
+
+pub use latency::LatencyModel;
+pub use network::{Network, NodeId, NodeRole};
+pub use topology::Topology;

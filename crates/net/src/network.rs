@@ -1,0 +1,329 @@
+//! The network: roles, per-stakeholder Mempool views, flood propagation.
+
+use crate::latency::LatencyModel;
+use crate::topology::Topology;
+use cn_chain::{Amount, Block, Timestamp, Transaction};
+use cn_mempool::{AcceptError, Mempool, MempoolPolicy};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Index of a node in the network.
+pub type NodeId = usize;
+
+/// What a node does.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeRole {
+    /// Pure relay: forwards traffic, keeps no Mempool we care about.
+    Relay,
+    /// A measurement node recording a Mempool view (the paper's full
+    /// nodes behind datasets 𝒜 and ℬ).
+    Observer {
+        /// The node's Mempool acceptance policy (dataset ℬ disabled the
+        /// fee floor).
+        policy: MempoolPolicy,
+    },
+    /// The network attachment point of one or more mining pools; its
+    /// Mempool view is what the pools' `GetBlockTemplate` draws from.
+    MinerHub {
+        /// Hub label (the simulator keeps its own pool-to-hub map).
+        pool: usize,
+        /// The hub's Mempool acceptance policy — `accept_all` models the
+        /// §4.2.3 pools that mine below-floor transactions.
+        policy: MempoolPolicy,
+    },
+}
+
+/// A simulated P2P network.
+///
+/// Flooding delivers a message to each node along the fastest path, so
+/// first-arrival times are shortest-path distances in the latency graph —
+/// computed with Dijkstra instead of simulating every hop.
+#[derive(Clone, Debug)]
+pub struct Network {
+    topology: Topology,
+    latency: LatencyModel,
+    roles: Vec<NodeRole>,
+    mempools: HashMap<NodeId, Mempool>,
+}
+
+/// Max-heap adapter for Dijkstra's min-priority queue over f64 distances.
+#[derive(PartialEq)]
+struct QueueItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for QueueItem {}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: smaller distance = greater priority. Distances are
+        // finite sums of finite latencies, so partial_cmp cannot fail.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Network {
+    /// Assembles a network; one Mempool is allocated per observer and
+    /// miner hub.
+    ///
+    /// # Panics
+    /// Panics when `roles.len()` differs from the topology's node count.
+    pub fn new(topology: Topology, latency: LatencyModel, roles: Vec<NodeRole>) -> Network {
+        assert_eq!(roles.len(), topology.len(), "one role per node");
+        let mut mempools = HashMap::new();
+        for (id, role) in roles.iter().enumerate() {
+            match role {
+                NodeRole::Observer { policy } => {
+                    mempools.insert(id, Mempool::new(*policy));
+                }
+                NodeRole::MinerHub { policy, .. } => {
+                    mempools.insert(id, Mempool::new(*policy));
+                }
+                NodeRole::Relay => {}
+            }
+        }
+        Network { topology, latency, roles, mempools }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.topology.is_empty()
+    }
+
+    /// The role of `node`.
+    pub fn role(&self, node: NodeId) -> &NodeRole {
+        &self.roles[node]
+    }
+
+    /// Ids of all observer nodes.
+    pub fn observers(&self) -> Vec<NodeId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, NodeRole::Observer { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Ids of all miner-hub nodes, with their pool indexes.
+    pub fn miner_hubs(&self) -> Vec<(NodeId, usize)> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                NodeRole::MinerHub { pool, .. } => Some((i, *pool)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The Mempool view held at `node` (observers and miner hubs only).
+    pub fn mempool(&self, node: NodeId) -> Option<&Mempool> {
+        self.mempools.get(&node)
+    }
+
+    /// Mutable access to a node's Mempool view.
+    pub fn mempool_mut(&mut self, node: NodeId) -> Option<&mut Mempool> {
+        self.mempools.get_mut(&node)
+    }
+
+    /// First-arrival time (in fractional seconds after emission) of a
+    /// flooded message from `origin` at every node — single-source
+    /// shortest paths over link latencies.
+    pub fn propagation_from(&self, origin: NodeId) -> Vec<f64> {
+        let n = self.len();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[origin] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueItem { dist: 0.0, node: origin });
+        while let Some(QueueItem { dist: d, node }) = heap.pop() {
+            if d > dist[node] {
+                continue;
+            }
+            for &next in self.topology.neighbors(node) {
+                let nd = d + self.latency.get(node, next);
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    heap.push(QueueItem { dist: nd, node: next });
+                }
+            }
+        }
+        dist
+    }
+
+    /// Broadcasts a transaction issued at `origin` at absolute time `when`
+    /// (seconds): every stakeholder Mempool sees it at `when +
+    /// first-arrival`, rounded to whole seconds. Returns, for each
+    /// stakeholder node, the arrival time and the admission outcome.
+    pub fn broadcast_tx(
+        &mut self,
+        origin: NodeId,
+        tx: Arc<Transaction>,
+        fee: Amount,
+        when: Timestamp,
+    ) -> Vec<(NodeId, Timestamp, Result<(), AcceptError>)> {
+        let arrivals = self.propagation_from(origin);
+        let mut results = Vec::with_capacity(self.mempools.len());
+        let mut order: Vec<NodeId> = self.mempools.keys().copied().collect();
+        order.sort_unstable(); // deterministic admission order
+        for node in order {
+            let arrival = when + arrivals[node].round() as Timestamp;
+            let outcome = self
+                .mempools
+                .get_mut(&node)
+                .expect("key from map")
+                .add_shared(Arc::clone(&tx), fee, arrival)
+                .map(|_| ());
+            results.push((node, arrival, outcome));
+        }
+        results
+    }
+
+    /// Connects a freshly mined block on every stakeholder Mempool.
+    ///
+    /// Block propagation (seconds) is far shorter than the inter-block
+    /// interval (minutes) and does not influence ordering metrics, so the
+    /// connect is applied instantaneously; stale-tip races are out of
+    /// scope.
+    pub fn apply_block(&mut self, block: &Block) {
+        for mempool in self.mempools.values_mut() {
+            mempool.apply_block(block);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_chain::{Address, TxOut};
+    use cn_stats::SimRng;
+
+    fn network(observer_policy: MempoolPolicy) -> Network {
+        let mut rng = SimRng::seed_from_u64(11);
+        let n = 10;
+        let mut degrees = vec![4; n];
+        degrees[0] = 8; // observer
+        let topology = Topology::random(n, &degrees, &mut rng);
+        let latency = LatencyModel::sample(&topology, 1.5, 0.5, &mut rng);
+        let mut roles = vec![NodeRole::Relay; n];
+        roles[0] = NodeRole::Observer { policy: observer_policy };
+        roles[5] = NodeRole::MinerHub { pool: 0, policy: MempoolPolicy::default() };
+        Network::new(topology, latency, roles)
+    }
+
+    fn tx(seed: u8) -> Arc<Transaction> {
+        Arc::new(
+            Transaction::builder()
+                .add_input_with_sizes([seed; 32].into(), 0, 107, 0)
+                .add_output(TxOut::to_address(Amount::from_sat(1_000), Address::from_label("r")))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn roles_create_mempools() {
+        let net = network(MempoolPolicy::default());
+        assert!(net.mempool(0).is_some());
+        assert!(net.mempool(5).is_some());
+        assert!(net.mempool(1).is_none());
+        assert_eq!(net.observers(), vec![0]);
+        assert_eq!(net.miner_hubs(), vec![(5, 0)]);
+    }
+
+    #[test]
+    fn propagation_is_metric_like() {
+        let net = network(MempoolPolicy::default());
+        let d = net.propagation_from(3);
+        assert_eq!(d[3], 0.0);
+        for (i, &v) in d.iter().enumerate() {
+            assert!(v.is_finite(), "node {i} unreachable");
+            if i != 3 {
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_with_origin_dependent_delay() {
+        let mut net = network(MempoolPolicy::default());
+        let t = tx(1);
+        let fee = Amount::from_sat(t.vsize() * 10);
+        let results = net.broadcast_tx(3, Arc::clone(&t), fee, 1_000);
+        assert_eq!(results.len(), 2); // observer + hub
+        for (node, arrival, outcome) in &results {
+            assert!(*arrival >= 1_000);
+            assert!(outcome.is_ok());
+            assert!(net.mempool(*node).expect("stakeholder").contains(&t.txid()));
+            assert_eq!(
+                net.mempool(*node).expect("stakeholder").get(&t.txid()).expect("in").received(),
+                *arrival
+            );
+        }
+    }
+
+    #[test]
+    fn strict_observer_rejects_low_fee_while_hub_view_differs() {
+        let mut net = network(MempoolPolicy::default());
+        let t = tx(2);
+        let results = net.broadcast_tx(3, Arc::clone(&t), Amount::ZERO, 0);
+        for (_, _, outcome) in &results {
+            assert!(matches!(outcome, Err(AcceptError::BelowMinFeeRate { .. })));
+        }
+        // A no-floor observer accepts the same broadcast.
+        let mut lax = network(MempoolPolicy::accept_all());
+        let results = lax.broadcast_tx(3, Arc::clone(&t), Amount::ZERO, 0);
+        let observer_outcome = &results.iter().find(|(n, _, _)| *n == 0).expect("observer").2;
+        assert!(observer_outcome.is_ok());
+    }
+
+    #[test]
+    fn apply_block_clears_all_views() {
+        let mut net = network(MempoolPolicy::default());
+        let t = tx(3);
+        let fee = Amount::from_sat(t.vsize() * 10);
+        net.broadcast_tx(2, Arc::clone(&t), fee, 0);
+        let cb = cn_chain::CoinbaseBuilder::new(1)
+            .reward(Address::from_label("p"), Amount::from_btc(6))
+            .build();
+        let block = Block::assemble(
+            2,
+            cn_chain::BlockHash::ZERO,
+            600,
+            0,
+            cb,
+            vec![(*t).clone()],
+        );
+        net.apply_block(&block);
+        assert!(!net.mempool(0).expect("obs").contains(&t.txid()));
+        assert!(!net.mempool(5).expect("hub").contains(&t.txid()));
+    }
+
+    #[test]
+    fn different_origins_give_different_arrival_orders() {
+        // The root cause of the paper's ε adjustment: two transactions
+        // issued from different corners of the network can arrive at the
+        // observer in either order.
+        let net = network(MempoolPolicy::default());
+        let from_2 = net.propagation_from(2);
+        let from_8 = net.propagation_from(8);
+        // Find the observer's arrival offsets; they must differ by origin.
+        assert_ne!(from_2[0], from_8[0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Random connected peer graphs with per-node degree targets.
+
+use cn_stats::SimRng;
+
+/// An undirected peer graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    adj: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Generates a connected random graph over `n` nodes where node `i`
+    /// initiates `degrees[i]` outbound connections to distinct random
+    /// peers (mirroring Bitcoin's 8-outbound default; the paper's
+    /// dataset-ℬ observer used 125). A ring backbone guarantees
+    /// connectivity.
+    ///
+    /// # Panics
+    /// Panics when `degrees.len() != n` or `n < 2`.
+    pub fn random(n: usize, degrees: &[usize], rng: &mut SimRng) -> Topology {
+        assert!(n >= 2, "need at least two nodes");
+        assert_eq!(degrees.len(), n, "one degree target per node");
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let connect = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+            if a != b && !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        };
+        // Ring backbone keeps the graph connected regardless of the draw.
+        for i in 0..n {
+            connect(&mut adj, i, (i + 1) % n);
+        }
+        for (i, &target) in degrees.iter().enumerate() {
+            let mut attempts = 0;
+            while adj[i].len() < target && attempts < 20 * target.max(1) {
+                let peer = rng.next_below(n as u64) as usize;
+                connect(&mut adj, i, peer);
+                attempts += 1;
+            }
+        }
+        Topology { adj }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the graph has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbors of `node`.
+    pub fn neighbors(&self, node: usize) -> &[usize] {
+        &self.adj[node]
+    }
+
+    /// The degree (peer count) of `node`.
+    pub fn degree(&self, node: usize) -> usize {
+        self.adj[node].len()
+    }
+
+    /// Iterates every undirected edge once, as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(a, peers)| peers.iter().filter(move |&&b| a < b).map(move |&b| (a, b)))
+    }
+
+    /// True when every node can reach every other (sanity check).
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        let mut count = 0;
+        while let Some(v) = stack.pop() {
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            count += 1;
+            stack.extend(self.adj[v].iter().copied().filter(|&u| !seen[u]));
+        }
+        count == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..10 {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let degrees = vec![8; 30];
+            let t = Topology::random(30, &degrees, &mut rng);
+            assert!(t.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degrees_roughly_honored() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut degrees = vec![8; 40];
+        degrees[0] = 30; // well-connected observer
+        let t = Topology::random(40, &degrees, &mut rng);
+        assert!(t.degree(0) >= 25, "observer degree {}", t.degree(0));
+        // Ordinary nodes should stay near their target (ring + inbound).
+        assert!(t.degree(5) >= 8);
+    }
+
+    #[test]
+    fn edges_are_symmetric_and_unique() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let t = Topology::random(20, &vec![5; 20], &mut rng);
+        for (a, b) in t.edges() {
+            assert!(a < b);
+            assert!(t.neighbors(a).contains(&b));
+            assert!(t.neighbors(b).contains(&a));
+        }
+        // No duplicate neighbors.
+        for v in 0..t.len() {
+            let mut peers = t.neighbors(v).to_vec();
+            peers.sort_unstable();
+            peers.dedup();
+            assert_eq!(peers.len(), t.degree(v));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Topology::random(15, &vec![4; 15], &mut SimRng::seed_from_u64(9));
+        let b = Topology::random(15, &vec![4; 15], &mut SimRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one degree target per node")]
+    fn degree_length_mismatch_panics() {
+        let mut rng = SimRng::seed_from_u64(0);
+        let _ = Topology::random(5, &[1, 2], &mut rng);
+    }
+}

@@ -1,0 +1,521 @@
+//! The user population: wallets, spendable outputs, transaction building.
+//!
+//! Keeps the simulated economy *consensus-valid*: every generated
+//! transaction spends real unspent outputs, so the chain's full validation
+//! (`cn_chain::validation`) accepts every mined block. Unconfirmed outputs
+//! may be re-spent (producing the CPFP chains the paper must filter out),
+//! but only once the parent was accepted by every stakeholder node —
+//! otherwise a miner that never saw the parent could mine an orphan child.
+
+use cn_chain::{Address, Amount, Block, Chain, FeeRate, OutPoint, Transaction, TxOut, Txid};
+use cn_stats::{LogNormal, SimRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Dust threshold below which change is folded into the fee.
+const DUST: u64 = 546;
+
+/// Lifecycle of a spendable output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OutState {
+    /// On chain.
+    Confirmed,
+    /// Unconfirmed but accepted by every stakeholder Mempool — safe to
+    /// spend (the child can always be packaged with its parent).
+    PendingOk,
+    /// Unconfirmed and not universally accepted (e.g. zero-fee);
+    /// unspendable until confirmation.
+    PendingLocked,
+}
+
+#[derive(Clone, Debug)]
+struct OutputMeta {
+    value: Amount,
+    owner: Address,
+    state: OutState,
+}
+
+/// A transaction built by the workload, ready for broadcast.
+#[derive(Clone, Debug)]
+pub struct BuiltTx {
+    /// The transaction (shared handle; Mempool views all reference it).
+    pub tx: Arc<Transaction>,
+    /// The public fee it offers.
+    pub fee: Amount,
+    /// The funding wallet.
+    pub from: Address,
+    /// The payment destination.
+    pub to: Address,
+    /// True when the spent output was itself unconfirmed (CPFP shape).
+    pub spends_unconfirmed: bool,
+}
+
+/// Where a payment should go.
+#[derive(Clone, Copy, Debug)]
+pub enum PaymentTarget {
+    /// A uniformly random user wallet.
+    RandomUser,
+    /// A specific address.
+    To(Address),
+}
+
+/// Wallets and the spendable-output ledger.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    users: Vec<Address>,
+    outputs: HashMap<OutPoint, OutputMeta>,
+    /// Per-owner outpoint lists; entries may be stale (validated on pop).
+    per_owner: HashMap<Address, Vec<OutPoint>>,
+    /// Unconfirmed txids -> their not-yet-promoted outputs.
+    tx_outputs: HashMap<Txid, Vec<OutPoint>>,
+    payment_value: LogNormal,
+    target_vsize: LogNormal,
+    funding_counter: u64,
+}
+
+impl Workload {
+    /// Creates a population of `users` wallets.
+    ///
+    /// # Panics
+    /// Panics when `users` is zero.
+    pub fn new(users: usize) -> Workload {
+        assert!(users > 0, "need at least one user");
+        Workload {
+            // A mixed population: roughly a third of users run native
+            // SegWit wallets (witness-discounted spends), the rest legacy
+            // P2PKH — so both serialization paths carry real traffic.
+            users: (0..users)
+                .map(|i| {
+                    let legacy = Address::from_label(&format!("user:{i}"));
+                    if i % 3 == 0 {
+                        Address::p2wpkh(*legacy.payload())
+                    } else {
+                        legacy
+                    }
+                })
+                .collect(),
+            outputs: HashMap::new(),
+            per_owner: HashMap::new(),
+            tx_outputs: HashMap::new(),
+            // Payments: median 0.002 BTC, heavy spread.
+            payment_value: LogNormal::with_median(200_000.0, 1.2),
+            // Virtual sizes: median 250 vB (the classic 1-in-2-out spans
+            // ~190-230; padding models multi-input/output diversity).
+            target_vsize: LogNormal::with_median(250.0, 0.45),
+            funding_counter: 0,
+        }
+    }
+
+    /// The user wallets.
+    pub fn users(&self) -> &[Address] {
+        &self.users
+    }
+
+    /// Number of currently spendable (confirmed or pending-ok) outputs.
+    pub fn spendable_count(&self) -> usize {
+        self.outputs
+            .values()
+            .filter(|m| m.state != OutState::PendingLocked)
+            .count()
+    }
+
+    /// Seeds `per_address` outputs of `value` each for every user plus
+    /// every address in `extra_owners`, as pre-window coins outside any
+    /// block (the simulator's stand-in for history before the
+    /// observation window). Outputs are registered as confirmed.
+    pub fn seed_funding(
+        &mut self,
+        chain: &mut Chain,
+        per_address: usize,
+        value: Amount,
+        extra_owners: &[Address],
+    ) {
+        let owners: Vec<Address> =
+            self.users.iter().copied().chain(extra_owners.iter().copied()).collect();
+        // Batch outputs into funding transactions of at most 1000 outputs.
+        let mut batch: Vec<Address> = Vec::new();
+        let flush = |wl: &mut Workload, chain: &mut Chain, batch: &mut Vec<Address>| {
+            if batch.is_empty() {
+                return;
+            }
+            let mut builder = Transaction::builder().add_input_with_sizes(
+                Txid::from([0xfa; 32]),
+                wl.funding_counter as u32,
+                2,
+                0,
+            );
+            wl.funding_counter += 1;
+            for owner in batch.iter() {
+                builder = builder.add_output(TxOut::to_address(value, *owner));
+            }
+            let tx = builder.build();
+            chain.seed_utxos(&tx);
+            for (vout, owner) in batch.iter().enumerate() {
+                wl.insert_output(
+                    OutPoint::new(tx.txid(), vout as u32),
+                    *owner,
+                    value,
+                    OutState::Confirmed,
+                );
+            }
+            batch.clear();
+        };
+        for owner in owners {
+            for _ in 0..per_address {
+                batch.push(owner);
+                if batch.len() == 1000 {
+                    flush(self, chain, &mut batch);
+                }
+            }
+        }
+        flush(self, chain, &mut batch);
+    }
+
+    fn insert_output(&mut self, op: OutPoint, owner: Address, value: Amount, state: OutState) {
+        self.outputs.insert(op, OutputMeta { value, owner, state });
+        self.per_owner.entry(owner).or_default().push(op);
+    }
+
+    /// Pops a spendable output owned by `owner` (or a random user when
+    /// `None`), optionally allowing pending-ok outputs.
+    fn pick_source(
+        &mut self,
+        rng: &mut SimRng,
+        owner: Option<Address>,
+        allow_pending: bool,
+    ) -> Option<(OutPoint, OutputMeta)> {
+        let candidates: Vec<Address> = match owner {
+            Some(a) => vec![a],
+            None => {
+                // Try a few random users; sparse wallets are skipped.
+                (0..8)
+                    .map(|_| self.users[rng.next_below(self.users.len() as u64) as usize])
+                    .collect()
+            }
+        };
+        for addr in candidates {
+            let Some(list) = self.per_owner.get_mut(&addr) else { continue };
+            // Scan from the newest entry down, skipping (but keeping)
+            // currently ineligible outputs and purging stale/dust ones.
+            let mut i = list.len();
+            while i > 0 {
+                i -= 1;
+                let op = list[i];
+                let Some(meta) = self.outputs.get(&op) else {
+                    list.swap_remove(i); // stale (already spent)
+                    continue;
+                };
+                if meta.value.to_sat() < 3 * DUST {
+                    self.outputs.remove(&op); // dust: drop permanently
+                    list.swap_remove(i);
+                    continue;
+                }
+                let eligible = match meta.state {
+                    OutState::Confirmed => true,
+                    OutState::PendingOk => allow_pending,
+                    OutState::PendingLocked => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                list.swap_remove(i);
+                let meta = self.outputs.remove(&op).expect("checked above");
+                return Some((op, meta));
+            }
+        }
+        None
+    }
+
+    /// Builds a payment. Returns `None` when no eligible source output
+    /// exists (the caller simply skips this arrival).
+    pub fn build_payment(
+        &mut self,
+        rng: &mut SimRng,
+        from: Option<Address>,
+        to: PaymentTarget,
+        fee_rate: FeeRate,
+        allow_pending: bool,
+    ) -> Option<BuiltTx> {
+        let (source_op, source) = self.pick_source(rng, from, allow_pending)?;
+        let spends_unconfirmed = source.state == OutState::PendingOk;
+        let recipient = match to {
+            PaymentTarget::To(a) => a,
+            PaymentTarget::RandomUser => {
+                self.users[rng.next_below(self.users.len() as u64) as usize]
+            }
+        };
+
+        // Size the transaction: pad the unlocking data toward a sampled
+        // virtual-size target (models multi-input/multi-output diversity
+        // without extra UTXO bookkeeping). SegWit owners spend with
+        // witness data (discounted 4x in virtual size), legacy owners
+        // with scriptSig bytes.
+        let target = self.target_vsize.sample(rng).clamp(150.0, 3_000.0) as u64;
+        // A 1-in-2-out p2pkh baseline is ~119 vB plus the script bytes.
+        let pad = (target.saturating_sub(119)).clamp(60, 2_800) as usize;
+        let (script_len, witness_len) = match source.owner {
+            Address::P2wpkh(_) => (0usize, (pad * 4).min(9_000)),
+            _ => (pad, 0usize),
+        };
+
+        // First pass to learn the exact vsize (amounts don't change size).
+        let draft = Transaction::builder()
+            .add_input_with_sizes(source_op.txid, source_op.vout, script_len, witness_len)
+            .add_output(TxOut::to_address(Amount::from_sat(DUST), recipient))
+            .add_output(TxOut::to_address(Amount::from_sat(DUST), source.owner))
+            .build();
+        let vsize = draft.vsize();
+        let fee = fee_rate.fee_for_vsize(vsize);
+
+        let available = source.value.to_sat();
+        if available <= fee.to_sat() + 2 * DUST {
+            // Too small to pay the fee meaningfully; treat as consumed dust.
+            return None;
+        }
+        let spendable = available - fee.to_sat();
+        let mut payment = self.payment_value.sample(rng) as u64;
+        payment = payment.clamp(DUST, spendable.saturating_sub(DUST));
+        let change = spendable - payment;
+
+        let mut builder = Transaction::builder()
+            .add_input_with_sizes(source_op.txid, source_op.vout, script_len, witness_len)
+            .add_output(TxOut::to_address(Amount::from_sat(payment), recipient));
+        let has_change = change >= DUST;
+        if has_change {
+            builder = builder.add_output(TxOut::to_address(Amount::from_sat(change), source.owner));
+        }
+        let tx = builder.build();
+        let fee = if has_change {
+            fee
+        } else {
+            // Change folded into the fee.
+            Amount::from_sat(available - payment)
+        };
+
+        let txid = tx.txid();
+        let mut produced = Vec::with_capacity(2);
+        self.insert_output(
+            OutPoint::new(txid, 0),
+            recipient,
+            Amount::from_sat(payment),
+            OutState::PendingLocked,
+        );
+        produced.push(OutPoint::new(txid, 0));
+        if has_change {
+            self.insert_output(
+                OutPoint::new(txid, 1),
+                source.owner,
+                Amount::from_sat(change),
+                OutState::PendingLocked,
+            );
+            produced.push(OutPoint::new(txid, 1));
+        }
+        self.tx_outputs.insert(txid, produced);
+
+        Some(BuiltTx {
+            tx: Arc::new(tx),
+            fee,
+            from: source.owner,
+            to: recipient,
+            spends_unconfirmed,
+        })
+    }
+
+    /// Marks a transaction as accepted by every stakeholder: its outputs
+    /// become spendable while unconfirmed.
+    pub fn mark_broadcast_ok(&mut self, txid: &Txid) {
+        if let Some(ops) = self.tx_outputs.get(txid) {
+            for op in ops {
+                if let Some(meta) = self.outputs.get_mut(op) {
+                    if meta.state == OutState::PendingLocked {
+                        meta.state = OutState::PendingOk;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Promotes the outputs of every transaction in a confirmed block, and
+    /// registers coinbase rewards as spendable pool funds.
+    pub fn on_block_confirmed(&mut self, block: &Block) {
+        if let Some(cb) = block.coinbase() {
+            for (vout, out) in cb.outputs().iter().enumerate() {
+                if let Some(addr) = out.address() {
+                    self.insert_output(
+                        OutPoint::new(cb.txid(), vout as u32),
+                        addr,
+                        out.value,
+                        OutState::Confirmed,
+                    );
+                }
+            }
+        }
+        for tx in block.body() {
+            if let Some(ops) = self.tx_outputs.remove(&tx.txid()) {
+                for op in ops {
+                    if let Some(meta) = self.outputs.get_mut(&op) {
+                        meta.state = OutState::Confirmed;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cn_chain::Params;
+
+    fn setup() -> (Workload, Chain, SimRng) {
+        let mut wl = Workload::new(20);
+        let mut chain = Chain::new(Params::mainnet());
+        wl.seed_funding(&mut chain, 3, Amount::from_btc(1), &[]);
+        (wl, chain, SimRng::seed_from_u64(77))
+    }
+
+    #[test]
+    fn seeding_registers_spendables() {
+        let (wl, chain, _) = setup();
+        assert_eq!(wl.spendable_count(), 60);
+        assert_eq!(chain.utxos().len(), 60);
+    }
+
+    #[test]
+    fn payments_are_consensus_valid() {
+        let (mut wl, chain, mut rng) = setup();
+        let built = wl
+            .build_payment(&mut rng, None, PaymentTarget::RandomUser, FeeRate::from_sat_per_vb(10), false)
+            .expect("source available");
+        // The fee claimed must equal what the UTXO set computes.
+        let fee = chain.utxos().fee(&built.tx).expect("spendable inputs");
+        assert_eq!(fee, built.fee);
+        assert!(!built.spends_unconfirmed);
+        assert!(fee.to_sat() >= built.tx.vsize() * 10);
+    }
+
+    #[test]
+    fn pending_outputs_locked_until_broadcast_ok() {
+        let (mut wl, _, mut rng) = setup();
+        // Drain one user's confirmed outputs to force a pending pick.
+        let owner = wl.users()[0];
+        let rate = FeeRate::from_sat_per_vb(5);
+        let first = wl
+            .build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, true)
+            .expect("confirmed source");
+        // Self-payment: owner's new outputs are pending-locked.
+        for _ in 0..2 {
+            let _ = wl.build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
+        }
+        // After exhausting confirmed sources, pending-locked must not be spent.
+        let before = wl.spendable_count();
+        let blocked = wl.build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
+        assert!(blocked.is_none(), "locked outputs must be unspendable");
+        assert_eq!(wl.spendable_count(), before);
+        // Once universally accepted, they unlock.
+        wl.mark_broadcast_ok(&first.tx.txid());
+        let unblocked =
+            wl.build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
+        assert!(unblocked.is_some());
+        assert!(unblocked.expect("built").spends_unconfirmed);
+    }
+
+    #[test]
+    fn cpfp_flag_reflects_source_state() {
+        let (mut wl, _, mut rng) = setup();
+        let owner = wl.users()[1];
+        let rate = FeeRate::from_sat_per_vb(5);
+        let parent = wl
+            .build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, false)
+            .expect("confirmed source");
+        wl.mark_broadcast_ok(&parent.tx.txid());
+        // Exhaust remaining confirmed outputs for this owner.
+        while wl
+            .build_payment(&mut rng, Some(owner), PaymentTarget::RandomUser, rate, false)
+            .is_some()
+        {}
+        let child = wl
+            .build_payment(&mut rng, Some(owner), PaymentTarget::RandomUser, rate, true)
+            .expect("pending-ok source");
+        assert!(child.spends_unconfirmed);
+    }
+
+    #[test]
+    fn confirmation_promotes_outputs_and_coinbase() {
+        let (mut wl, _, mut rng) = setup();
+        let built = wl
+            .build_payment(&mut rng, None, PaymentTarget::RandomUser, FeeRate::from_sat_per_vb(5), false)
+            .expect("built");
+        let pool_wallet = Address::from_label("pool:X:0");
+        let cb = cn_chain::CoinbaseBuilder::new(0)
+            .reward(pool_wallet, Amount::from_btc(6))
+            .build();
+        let block = cn_chain::Block::assemble(
+            2,
+            cn_chain::BlockHash::ZERO,
+            0,
+            0,
+            cb,
+            vec![(*built.tx).clone()],
+        );
+        let before = wl.spendable_count();
+        wl.on_block_confirmed(&block);
+        // Outputs of the confirmed tx unlocked (+2) and coinbase added (+1).
+        assert_eq!(wl.spendable_count(), before + 3);
+        // Pool wallet can now fund a self-interest transfer.
+        let self_tx = wl.build_payment(
+            &mut rng,
+            Some(pool_wallet),
+            PaymentTarget::RandomUser,
+            FeeRate::from_sat_per_vb(5),
+            false,
+        );
+        assert!(self_tx.is_some());
+        assert_eq!(self_tx.expect("built").from, pool_wallet);
+    }
+
+    #[test]
+    fn fee_rate_is_honored_at_or_above_request() {
+        let (mut wl, chain, mut rng) = setup();
+        for rate_vb in [1u64, 10, 200] {
+            let rate = FeeRate::from_sat_per_vb(rate_vb);
+            let built = wl
+                .build_payment(&mut rng, None, PaymentTarget::RandomUser, rate, false)
+                .expect("built");
+            let fee = chain.utxos().fee(&built.tx).expect("valid");
+            let actual = FeeRate::from_fee_and_vsize(fee, built.tx.vsize());
+            assert!(actual >= rate, "requested {rate}, got {actual}");
+        }
+    }
+
+    #[test]
+    fn zero_fee_payment_possible() {
+        let (mut wl, chain, mut rng) = setup();
+        let built = wl
+            .build_payment(&mut rng, None, PaymentTarget::RandomUser, FeeRate::ZERO, false)
+            .expect("built");
+        assert_eq!(chain.utxos().fee(&built.tx).expect("valid"), Amount::ZERO);
+    }
+
+    #[test]
+    fn sizes_are_diverse() {
+        let (mut wl, _, mut rng) = setup();
+        let mut sizes = Vec::new();
+        for _ in 0..30 {
+            if let Some(b) = wl.build_payment(
+                &mut rng,
+                None,
+                PaymentTarget::RandomUser,
+                FeeRate::from_sat_per_vb(2),
+                true,
+            ) {
+                wl.mark_broadcast_ok(&b.tx.txid());
+                sizes.push(b.tx.vsize());
+            }
+        }
+        assert!(sizes.len() >= 20);
+        let min = sizes.iter().min().expect("non-empty");
+        let max = sizes.iter().max().expect("non-empty");
+        assert!(max > min, "vsizes should vary: {sizes:?}");
+    }
+}

@@ -1,0 +1,723 @@
+//! The simulation runner: turns a [`Scenario`] into a chain, a snapshot
+//! stream, and ground truth.
+
+use crate::event::{EventQueue, SimMillis};
+use crate::scenario::{PoolBehavior, Scenario};
+use crate::truth::{GroundTruth, TxKind};
+use crate::workload::{BuiltTx, PaymentTarget, Workload};
+use cn_chain::{Address, Amount, Chain, FeeRate, Timestamp, Transaction, Txid};
+use cn_mempool::{FeeEstimator, MempoolPolicy, MempoolSnapshot};
+use cn_miner::{
+    AccelerationService, AddressAccelerationPolicy, CensorPolicy, CompositePolicy, DarkFeePolicy,
+    MinerPolicy, MiningPool,
+};
+use cn_net::{LatencyModel, Network, NodeId, NodeRole, Topology};
+use cn_stats::{Exponential, LogNormal, SimRng, WeightedIndex};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything a run produces; the audit layer consumes this.
+pub struct SimOutput {
+    /// The scenario that produced this output.
+    pub scenario: Scenario,
+    /// The confirmed chain.
+    pub chain: Chain,
+    /// The observer's 15-second snapshot stream (datasets 𝒜/ℬ analog).
+    pub snapshots: Vec<MempoolSnapshot>,
+    /// Ground-truth labels.
+    pub truth: GroundTruth,
+    /// Pool names, indexed as in the scenario.
+    pub pool_names: Vec<String>,
+    /// Which pool (by index) mined each block, by height — ground truth
+    /// for validating marker-based attribution.
+    pub block_miners: Vec<usize>,
+    /// Dark-fee service handles, per pool (None for non-providers).
+    pub services: Vec<Option<Arc<Mutex<AccelerationService>>>>,
+}
+
+/// Internal event kinds.
+enum Ev {
+    /// A user payment is issued somewhere in the network.
+    IssueUserTx,
+    /// A pool issues a transfer from its own wallet.
+    IssueSelfTx(usize),
+    /// A transaction reaches a stakeholder node's Mempool.
+    Deliver { node: NodeId, tx: Arc<Transaction>, fee: Amount },
+    /// A block is found.
+    MineBlock,
+    /// The observer records a snapshot.
+    Snapshot,
+}
+
+/// The simulation world.
+pub struct World {
+    scenario: Scenario,
+    rng_tx: SimRng,
+    rng_mine: SimRng,
+    chain: Chain,
+    network: Network,
+    pools: Vec<MiningPool>,
+    hub_of_pool: Vec<NodeId>,
+    observer: NodeId,
+    relay_count: usize,
+    workload: Workload,
+    estimator: FeeEstimator,
+    truth: GroundTruth,
+    snapshots: Vec<MempoolSnapshot>,
+    services: Vec<Option<Arc<Mutex<AccelerationService>>>>,
+    block_miners: Vec<usize>,
+    /// Providers (pool indexes) selling acceleration.
+    providers: Vec<usize>,
+    /// Outstanding delivery bookkeeping: txid -> (pending deliveries,
+    /// accepted everywhere so far).
+    delivery_state: HashMap<Txid, (usize, bool)>,
+    pool_picker: WeightedIndex,
+    scam_address: Address,
+    snapshot_counter: u64,
+}
+
+impl World {
+    /// Builds the world for a scenario.
+    ///
+    /// # Panics
+    /// Panics when the scenario fails validation.
+    pub fn new(scenario: Scenario) -> World {
+        scenario.validate().unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        let root = SimRng::seed_from_u64(scenario.seed);
+        let mut rng_topo = root.fork("topology");
+        let rng_tx = root.fork("transactions");
+        let rng_mine = root.fork("mining");
+
+        // --- Node layout: relays | observer | hubs ------------------------
+        let relay_count = scenario.relay_nodes.max(2);
+        let observer: NodeId = relay_count;
+        // Pools that accept low-fee transactions need their own hub (their
+        // Mempool admits what others reject); the rest share hubs.
+        let mut hub_policies: Vec<MempoolPolicy> = Vec::new();
+        let mut hub_of_pool: Vec<NodeId> = vec![0; scenario.pools.len()];
+        let shared_hub_count = scenario.miner_hubs;
+        for _ in 0..shared_hub_count {
+            hub_policies.push(MempoolPolicy::default());
+        }
+        let mut shared_rr = 0usize;
+        for (i, p) in scenario.pools.iter().enumerate() {
+            if p.accepts_low_fee {
+                hub_policies.push(MempoolPolicy::accept_all());
+                hub_of_pool[i] = observer + hub_policies.len(); // filled below
+            } else {
+                hub_of_pool[i] = observer + 1 + (shared_rr % shared_hub_count);
+                shared_rr += 1;
+            }
+        }
+        // Fix dedicated-hub ids now that counts are known: dedicated hubs
+        // come after the shared ones.
+        {
+            let mut next_dedicated = observer + 1 + shared_hub_count;
+            for (i, p) in scenario.pools.iter().enumerate() {
+                if p.accepts_low_fee {
+                    hub_of_pool[i] = next_dedicated;
+                    next_dedicated += 1;
+                }
+            }
+        }
+        let hub_count = hub_policies.len();
+        let n = relay_count + 1 + hub_count;
+        let mut degrees = vec![8usize; n];
+        degrees[observer] = scenario.observer_peers;
+        let topology = Topology::random(n, &degrees, &mut rng_topo);
+        let latency = LatencyModel::sample(
+            &topology,
+            scenario.link_latency_median,
+            scenario.link_latency_sigma,
+            &mut rng_topo,
+        );
+        let mut roles = vec![NodeRole::Relay; n];
+        roles[observer] = NodeRole::Observer { policy: scenario.observer_policy };
+        for (h, policy) in hub_policies.iter().enumerate() {
+            roles[observer + 1 + h] = NodeRole::MinerHub { pool: h, policy: *policy };
+        }
+        let network = Network::new(topology, latency, roles);
+
+        // --- Pools, policies, services ------------------------------------
+        let scam_address = Address::from_label(&format!("scam:{}", scenario.name));
+        let mut services: Vec<Option<Arc<Mutex<AccelerationService>>>> =
+            vec![None; scenario.pools.len()];
+        let mut providers = Vec::new();
+        let mut pools = Vec::with_capacity(scenario.pools.len());
+        for (i, cfg) in scenario.pools.iter().enumerate() {
+            let mut parts: Vec<Box<dyn MinerPolicy>> = Vec::new();
+            for b in &cfg.behaviors {
+                match b {
+                    PoolBehavior::SelfInterest => {
+                        parts.push(Box::new(AddressAccelerationPolicy::new(
+                            format!("{}:self", cfg.name),
+                            MiningPool::derive_wallets(&cfg.name, cfg.wallet_count),
+                        )));
+                    }
+                    PoolBehavior::Collude { partners } => {
+                        let mut watched = Vec::new();
+                        for partner in partners {
+                            let pc = scenario
+                                .pools
+                                .iter()
+                                .find(|p| &p.name == partner)
+                                .expect("validated");
+                            watched.extend(MiningPool::derive_wallets(&pc.name, pc.wallet_count));
+                        }
+                        parts.push(Box::new(AddressAccelerationPolicy::new(
+                            format!("{}:collude", cfg.name),
+                            watched,
+                        )));
+                    }
+                    PoolBehavior::DarkFee { premium } => {
+                        let svc = Arc::new(Mutex::new(
+                            AccelerationService::new(cfg.name.clone()).with_premium(*premium),
+                        ));
+                        services[i] = Some(Arc::clone(&svc));
+                        providers.push(i);
+                        parts.push(Box::new(DarkFeePolicy::new(svc)));
+                    }
+                    PoolBehavior::CensorScam { exclude } => {
+                        let policy = if *exclude {
+                            CensorPolicy::excluding([scam_address])
+                        } else {
+                            CensorPolicy::decelerating([scam_address])
+                        };
+                        parts.push(Box::new(policy));
+                    }
+                }
+            }
+            let mut pool = MiningPool::new(cfg.name.clone(), cfg.hash_rate, cfg.wallet_count);
+            if !parts.is_empty() {
+                pool = pool.with_policy(Box::new(CompositePolicy::new(cfg.name.clone(), parts)));
+            }
+            pools.push(pool);
+        }
+        let pool_picker =
+            WeightedIndex::new(&scenario.pools.iter().map(|p| p.hash_rate).collect::<Vec<_>>());
+
+        // --- Workload ------------------------------------------------------
+        let mut chain = Chain::new(scenario.params.clone());
+        let mut workload = Workload::new(scenario.users);
+        let pool_wallets: Vec<Address> =
+            pools.iter().flat_map(|p| p.wallets().to_vec()).collect();
+        workload.seed_funding(&mut chain, 6, Amount::from_btc(1), &pool_wallets);
+
+        let mut truth = GroundTruth::default();
+        if scenario.scam.is_some() {
+            truth.set_scam_address(scam_address);
+        }
+
+        World {
+            estimator: FeeEstimator::new(12),
+            scenario,
+            rng_tx,
+            rng_mine,
+            chain,
+            network,
+            pools,
+            hub_of_pool,
+            observer,
+            relay_count,
+            workload,
+            truth,
+            snapshots: Vec::new(),
+            services,
+            block_miners: Vec::new(),
+            providers,
+            delivery_state: HashMap::new(),
+            pool_picker,
+            scam_address,
+            snapshot_counter: 0,
+        }
+    }
+
+    /// Runs the scenario to completion and returns its artifacts.
+    pub fn run(mut self) -> SimOutput {
+        let horizon_ms: SimMillis = self.scenario.duration * 1_000;
+        let mut queue: EventQueue<Ev> = EventQueue::new();
+
+        // Prime the schedule.
+        if let Some(first) = self.next_user_arrival(0) {
+            if first < horizon_ms {
+                queue.schedule(first, Ev::IssueUserTx);
+            }
+        }
+        if self.scenario.self_interest_rate > 0.0 {
+            for i in 0..self.pools.len() {
+                let gap = self.self_tx_gap();
+                if gap < horizon_ms {
+                    queue.schedule(gap, Ev::IssueSelfTx(i));
+                }
+            }
+        }
+        let spacing = self.scenario.params.target_spacing_secs;
+        let first_block =
+            (Exponential::with_mean(spacing as f64 * 1_000.0).sample(&mut self.rng_mine)) as u64;
+        queue.schedule(first_block.min(horizon_ms.saturating_sub(1)), Ev::MineBlock);
+        queue.schedule(self.scenario.snapshot_interval * 1_000, Ev::Snapshot);
+
+        while let Some((now_ms, ev)) = queue.pop() {
+            if now_ms >= horizon_ms {
+                break;
+            }
+            match ev {
+                Ev::IssueUserTx => {
+                    self.issue_user_tx(now_ms, &mut queue);
+                    if let Some(next) = self.next_user_arrival(now_ms) {
+                        if next < horizon_ms {
+                            queue.schedule(next, Ev::IssueUserTx);
+                        }
+                    }
+                }
+                Ev::IssueSelfTx(pool) => {
+                    self.issue_self_tx(pool, now_ms, &mut queue);
+                    let next = now_ms + self.self_tx_gap();
+                    if next < horizon_ms {
+                        queue.schedule(next, Ev::IssueSelfTx(pool));
+                    }
+                }
+                Ev::Deliver { node, tx, fee } => {
+                    self.deliver(node, tx, fee, now_ms);
+                }
+                Ev::MineBlock => {
+                    self.mine_block(now_ms);
+                    let gap = Exponential::with_mean(spacing as f64 * 1_000.0)
+                        .sample(&mut self.rng_mine) as u64;
+                    let next = now_ms + gap.max(1_000);
+                    if next < horizon_ms {
+                        queue.schedule(next, Ev::MineBlock);
+                    }
+                }
+                Ev::Snapshot => {
+                    let now_secs = now_ms / 1_000;
+                    // Enforce the observer's maxmempool before recording.
+                    if let Some(cap) = self.scenario.observer_max_mempool_vsize {
+                        if let Some(pool) = self.network.mempool_mut(self.observer) {
+                            pool.limit_size(cap);
+                        }
+                    }
+                    let detailed =
+                        self.snapshot_counter % self.scenario.snapshot_detail_every == 0;
+                    self.snapshot_counter += 1;
+                    if let Some(pool) = self.network.mempool(self.observer) {
+                        self.snapshots.push(if detailed {
+                            pool.snapshot(now_secs)
+                        } else {
+                            pool.snapshot_light(now_secs)
+                        });
+                    }
+                    let next = now_ms + self.scenario.snapshot_interval * 1_000;
+                    if next < horizon_ms {
+                        queue.schedule(next, Ev::Snapshot);
+                    }
+                }
+            }
+        }
+
+        SimOutput {
+            pool_names: self.pools.iter().map(|p| p.name().to_string()).collect(),
+            scenario: self.scenario,
+            chain: self.chain,
+            snapshots: self.snapshots,
+            truth: self.truth,
+            block_miners: self.block_miners,
+            services: self.services,
+        }
+    }
+
+    /// Next user-transaction arrival after `now_ms`, by Poisson thinning
+    /// against the congestion profile.
+    fn next_user_arrival(&mut self, now_ms: SimMillis) -> Option<SimMillis> {
+        let max_rate = self.scenario.congestion.max_rate();
+        let gap_dist = Exponential::new(max_rate / 1_000.0); // events per ms
+        let mut t = now_ms as f64;
+        for _ in 0..100_000 {
+            t += gap_dist.sample(&mut self.rng_tx).max(1.0);
+            let rate = self.scenario.congestion.rate_at((t / 1_000.0) as Timestamp);
+            if self.rng_tx.next_f64() < rate / max_rate {
+                return Some(t as SimMillis);
+            }
+        }
+        None
+    }
+
+    fn self_tx_gap(&mut self) -> SimMillis {
+        let mean_ms = 1_000.0 / self.scenario.self_interest_rate;
+        (Exponential::with_mean(mean_ms).sample(&mut self.rng_mine) as SimMillis).max(1)
+    }
+
+    /// The observer's current top fee rate (the acceleration quote anchor).
+    fn top_fee_rate(&self) -> FeeRate {
+        self.network
+            .mempool(self.observer)
+            .and_then(|m| m.iter_by_fee_rate_desc().next().map(|e| e.fee_rate()))
+            .unwrap_or(FeeRate::MIN_RELAY)
+    }
+
+    /// Samples a user's public fee rate from wallet-estimator behaviour.
+    ///
+    /// Bids combine the block-history estimator with the *live* backlog
+    /// (real wallets use mempool-based estimation too, which is what makes
+    /// Figure 4c's fee-vs-congestion monotonicity hold at issue time), and
+    /// the estimator's positive feedback loop (bids quote recent blocks,
+    /// which quote bids) is broken by a heavy-tailed per-transaction
+    /// willingness-to-pay cap.
+    fn sample_user_fee_rate(&mut self) -> FeeRate {
+        // Users differ in urgency: quantile of recent block fee rates.
+        let q = *self
+            .rng_tx
+            .choose(&[0.3f64, 0.5, 0.7, 0.9, 0.97])
+            .expect("non-empty");
+        let suggested = self.estimator.suggest(q).to_sat_per_kvb() as f64;
+        // Live-backlog pressure: how many block-capacities are pending
+        // right now at the observer.
+        let cap = self.scenario.params.max_block_vsize().max(1) as f64;
+        let backlog = self
+            .network
+            .mempool(self.observer)
+            .map(|m| m.total_vsize() as f64)
+            .unwrap_or(0.0);
+        let pressure = (backlog / cap).min(30.0);
+        // Calm pools discount the history slightly; deep congestion scales
+        // bids up logarithmically.
+        let pressure_factor = 0.8 + 0.4 * (1.0 + pressure).ln();
+        let noise = LogNormal::new(0.0, 0.35).sample(&mut self.rng_tx);
+        // Willingness cap: median 120 sat/vB, long right tail — matching
+        // the paper's observation that fees span 1e-6 to beyond 1 BTC/KB
+        // but cluster within two orders of magnitude of the minimum.
+        let wtp = LogNormal::with_median(120_000.0, 1.2).sample(&mut self.rng_tx);
+        let floor = FeeRate::MIN_RELAY.to_sat_per_kvb() as f64;
+        let rate = (suggested * pressure_factor * noise).min(wtp).max(floor);
+        FeeRate::from_sat_per_kvb(rate as u64)
+    }
+
+    fn issue_user_tx(&mut self, now_ms: SimMillis, queue: &mut EventQueue<Ev>) {
+        let now_secs = now_ms / 1_000;
+        // Scam donation?
+        let is_scam = match (&self.scenario.scam, ()) {
+            (Some(cfg), ()) => {
+                now_secs >= cfg.window_start
+                    && now_secs < cfg.window_end
+                    && self.rng_tx.next_bool(cfg.donation_prob)
+            }
+            _ => false,
+        };
+        // Dark-fee acceleration demand?
+        let wants_acceleration = !is_scam
+            && !self.providers.is_empty()
+            && self.rng_tx.next_bool(self.scenario.acceleration_demand);
+        // Zero-fee deviant?
+        let zero_fee =
+            !is_scam && !wants_acceleration && self.rng_tx.next_bool(self.scenario.zero_fee_prob);
+
+        let fee_rate = if zero_fee {
+            FeeRate::ZERO
+        } else if wants_acceleration {
+            // Accelerating users deliberately underbid publicly (§5.4.1):
+            // the dark fee does the work.
+            FeeRate::MIN_RELAY
+        } else {
+            self.sample_user_fee_rate()
+        };
+
+        let target = if is_scam {
+            PaymentTarget::To(self.scam_address)
+        } else {
+            PaymentTarget::RandomUser
+        };
+        let allow_pending = self.rng_tx.next_bool(self.scenario.cpfp_prob);
+        let Some(built) =
+            self.workload.build_payment(&mut self.rng_tx, None, target, fee_rate, allow_pending)
+        else {
+            return; // no spendable output right now; skip this arrival
+        };
+        let kind = if is_scam { TxKind::Scam } else { TxKind::User };
+        self.truth.record_issue(built.tx.txid(), kind, now_secs, built.fee);
+
+        if wants_acceleration {
+            let provider =
+                self.providers[self.rng_tx.next_below(self.providers.len() as u64) as usize];
+            let svc = self.services[provider].as_ref().expect("provider has service");
+            let top = self.top_fee_rate();
+            let mut svc = svc.lock();
+            let quote = svc.quote(built.tx.vsize(), built.fee, top);
+            svc.accelerate(built.tx.txid(), quote);
+            drop(svc);
+            self.truth.record_acceleration(
+                built.tx.txid(),
+                self.pools[provider].name().to_string(),
+                quote,
+            );
+        }
+
+        self.broadcast(built, now_ms, queue);
+    }
+
+    fn issue_self_tx(&mut self, pool: usize, now_ms: SimMillis, queue: &mut EventQueue<Ev>) {
+        let now_secs = now_ms / 1_000;
+        let wallets = self.pools[pool].wallets().to_vec();
+        let from = wallets[self.rng_tx.next_below(wallets.len() as u64) as usize];
+        // Pools mostly consolidate their own funds at rock-bottom fee
+        // rates (they are not in a hurry — unless, of course, they
+        // cheat); under congestion those transfers linger, which is
+        // exactly the setting where self-acceleration becomes observable
+        // (§5.2). A minority of pool transfers (payouts, exchanges) pay
+        // market rates and confirm normally regardless of who mines.
+        let fee_rate = if self.rng_tx.next_bool(0.85) {
+            // Exactly the relay floor: consolidations queue behind every
+            // bidder and clear only on deep drains — or in the pool's own
+            // blocks.
+            FeeRate::MIN_RELAY
+        } else {
+            self.sample_user_fee_rate()
+        };
+        let Some(built) = self.workload.build_payment(
+            &mut self.rng_tx,
+            Some(from),
+            PaymentTarget::RandomUser,
+            fee_rate,
+            false,
+        ) else {
+            return; // pool wallet has no confirmed funds yet
+        };
+        self.truth.record_issue(
+            built.tx.txid(),
+            TxKind::SelfInterest { pool: self.pools[pool].name().to_string() },
+            now_secs,
+            built.fee,
+        );
+        self.broadcast(built, now_ms, queue);
+    }
+
+    /// Schedules per-stakeholder deliveries for a freshly issued tx.
+    fn broadcast(&mut self, built: BuiltTx, now_ms: SimMillis, queue: &mut EventQueue<Ev>) {
+        // Issue from a random relay node (users are spread over the edge).
+        let origin = self.rng_tx.next_below(self.relay_count as u64) as usize;
+        let arrivals = self.network.propagation_from(origin);
+        let mut stakeholders: Vec<NodeId> = self.network.observers();
+        stakeholders.extend(self.network.miner_hubs().iter().map(|(n, _)| *n));
+        stakeholders.sort_unstable();
+        stakeholders.dedup();
+        self.delivery_state.insert(built.tx.txid(), (stakeholders.len(), true));
+        for node in stakeholders {
+            let delay_ms = (arrivals[node] * 1_000.0).round() as SimMillis;
+            queue.schedule(
+                now_ms + delay_ms.max(1),
+                Ev::Deliver { node, tx: Arc::clone(&built.tx), fee: built.fee },
+            );
+        }
+    }
+
+    fn deliver(&mut self, node: NodeId, tx: Arc<Transaction>, fee: Amount, now_ms: SimMillis) {
+        let txid = tx.txid();
+        let now_secs = now_ms / 1_000;
+        // A transaction can be confirmed while still in flight to slower
+        // nodes; real nodes check the chain on admission and drop such
+        // stragglers (counted as accepted — it *was* committed).
+        let accepted = if self.chain.contains_tx(&txid) {
+            true
+        } else {
+            match self.network.mempool_mut(node) {
+                Some(pool) => pool.add_shared(tx, fee, now_secs).is_ok(),
+                None => false,
+            }
+        };
+        if let Some((remaining, all_ok)) = self.delivery_state.get_mut(&txid) {
+            *all_ok &= accepted;
+            *remaining -= 1;
+            if *remaining == 0 {
+                let ok = *all_ok;
+                self.delivery_state.remove(&txid);
+                if ok {
+                    self.workload.mark_broadcast_ok(&txid);
+                }
+            }
+        }
+    }
+
+    fn mine_block(&mut self, now_ms: SimMillis) {
+        let now_secs = now_ms / 1_000;
+        let idx = self.pool_picker.sample(&mut self.rng_mine);
+        let hub = self.hub_of_pool[idx];
+        let height = self.chain.height();
+        let prev = self.chain.tip_hash();
+        // SPV/stale-template mining: occasionally a pool finds a block
+        // before assembling a template and commits nothing.
+        let mine_empty = self.rng_mine.next_bool(self.scenario.empty_block_prob);
+
+        let World { network, chain, pools, .. } = self;
+        let empty_mempool = cn_mempool::Mempool::new(cn_mempool::MempoolPolicy::default());
+        let hub_mempool = if mine_empty {
+            &empty_mempool
+        } else {
+            network.mempool(hub).expect("hub has a mempool")
+        };
+        let utxos = chain.utxos();
+        let resolve = |op: &cn_chain::OutPoint| -> Option<Address> {
+            utxos
+                .get(op)
+                .and_then(|o| o.address())
+                .or_else(|| {
+                    hub_mempool
+                        .get(&op.txid)
+                        .and_then(|e| e.tx().outputs().get(op.vout as usize))
+                        .and_then(|o| o.address())
+                })
+        };
+        let block = pools[idx].build_block(
+            hub_mempool,
+            &self.scenario.params,
+            prev,
+            height,
+            now_secs,
+            &resolve,
+        );
+
+        // Record fee rates for the estimator before views change.
+        let mut rates = Vec::with_capacity(block.body().len());
+        for tx in block.body() {
+            if let Some(e) = hub_mempool.get(&tx.txid()) {
+                rates.push(e.fee_rate());
+            }
+        }
+
+        self.chain
+            .connect(block.clone())
+            .unwrap_or_else(|e| panic!("simulator built an invalid block: {e}"));
+        self.estimator.record_rates(rates);
+        self.workload.on_block_confirmed(&block);
+        self.network.apply_block(&block);
+        self.block_miners.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::PoolConfig;
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        let mut s = Scenario::base("world-test", seed);
+        s.duration = 2 * 3_600;
+        s.users = 60;
+        s.congestion = crate::profile::CongestionProfile::flat(0.8);
+        // Small blocks so contention exists even in a short run.
+        s.params.max_block_weight = 200_000;
+        s
+    }
+
+    #[test]
+    fn produces_blocks_and_snapshots() {
+        let out = World::new(quick_scenario(1)).run();
+        assert!(out.chain.height() > 3, "height {}", out.chain.height());
+        assert!(out.snapshots.len() > 100);
+        assert!(out.chain.body_tx_count() > 100);
+        assert_eq!(out.block_miners.len(), out.chain.height() as usize);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = World::new(quick_scenario(7)).run();
+        let b = World::new(quick_scenario(7)).run();
+        assert_eq!(a.chain.height(), b.chain.height());
+        assert_eq!(a.chain.tip_hash(), b.chain.tip_hash());
+        assert_eq!(a.snapshots.len(), b.snapshots.len());
+        assert_eq!(a.block_miners, b.block_miners);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::new(quick_scenario(1)).run();
+        let b = World::new(quick_scenario(2)).run();
+        assert_ne!(a.chain.tip_hash(), b.chain.tip_hash());
+    }
+
+    #[test]
+    fn hash_rate_shares_roughly_honored() {
+        let mut s = quick_scenario(3);
+        s.duration = 8 * 3_600; // more blocks for the share estimate
+        let out = World::new(s).run();
+        let total = out.block_miners.len() as f64;
+        let share0 = out.block_miners.iter().filter(|&&m| m == 0).count() as f64 / total;
+        // Pool 0 has 40% of the hash rate.
+        assert!((share0 - 0.4).abs() < 0.15, "share {share0}");
+    }
+
+    #[test]
+    fn self_interest_txs_recorded_and_mined() {
+        let mut s = quick_scenario(4);
+        s.self_interest_rate = 0.01;
+        s.duration = 4 * 3_600;
+        let out = World::new(s).run();
+        let self_txs: usize = out
+            .pool_names
+            .iter()
+            .map(|n| out.truth.self_interest_txids(n).len())
+            .sum();
+        assert!(self_txs > 0, "no self-interest txs issued");
+    }
+
+    #[test]
+    fn dark_fee_orders_recorded() {
+        let mut s = quick_scenario(5);
+        s.pools[1] = PoolConfig::honest("Beta", 0.35, 1)
+            .with_behavior(PoolBehavior::DarkFee { premium: 1.5 });
+        s.acceleration_demand = 0.05;
+        let out = World::new(s).run();
+        assert!(!out.truth.accelerated_txids().is_empty());
+        let svc = out.services[1].as_ref().expect("provider service");
+        assert!(svc.lock().order_count() > 0);
+    }
+
+    #[test]
+    fn scam_donations_target_scam_address() {
+        let mut s = quick_scenario(6);
+        s.scam = Some(crate::scenario::ScamConfig {
+            window_start: 600,
+            window_end: 5_000,
+            donation_prob: 0.1,
+        });
+        let out = World::new(s).run();
+        let scam_txids = out.truth.scam_txids();
+        assert!(!scam_txids.is_empty());
+        let scam_addr = out.truth.scam_address().expect("set");
+        // Every scam tx pays the scam address.
+        for b in out.chain.blocks() {
+            for tx in b.body() {
+                if scam_txids.contains(&tx.txid()) {
+                    assert!(tx.output_addresses().any(|a| a == scam_addr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_block_probability_respected() {
+        let mut s = quick_scenario(9);
+        s.empty_block_prob = 1.0;
+        let out = World::new(s).run();
+        assert!(out.chain.height() > 0);
+        assert_eq!(
+            out.chain.empty_block_count(),
+            out.chain.height() as usize,
+            "every block must be empty at probability 1"
+        );
+        let mut s = quick_scenario(9);
+        s.empty_block_prob = 0.0;
+        let out = World::new(s).run();
+        // With steady traffic and p=0 only a drained mempool yields an
+        // empty block; at this congestion level that never happens.
+        assert!(out.chain.empty_block_count() < out.chain.height() as usize / 2);
+    }
+
+    #[test]
+    fn chain_is_fully_valid_by_construction() {
+        // connect() already validates; a completed run with blocks proves
+        // the workload never produced an invalid spend. Assert fees add up.
+        let out = World::new(quick_scenario(8)).run();
+        assert!(out.chain.total_fees() > Amount::ZERO);
+        assert_eq!(out.chain.records().len(), out.chain.blocks().len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! The paper repeatedly claims one population stochastically dominates
+//! another ("fee rates are strictly higher at higher congestion levels",
+//! Figure 4c). The experiment harness backs those claims with a KS test:
+//! the statistic is the maximum ECDF gap, and the p-value uses the
+//! asymptotic Kolmogorov distribution with the standard two-sample
+//! effective size.
+
+/// Result of a two-sample KS test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D = sup |F1 - F2|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// Sizes of the two samples.
+    pub n: (usize, usize),
+}
+
+/// Runs the two-sample KS test. NaNs are ignored.
+///
+/// # Panics
+/// Panics when either (NaN-filtered) sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTest {
+    let mut a: Vec<f64> = a.iter().copied().filter(|v| !v.is_nan()).collect();
+    let mut b: Vec<f64> = b.iter().copied().filter(|v| !v.is_nan()).collect();
+    assert!(!a.is_empty() && !b.is_empty(), "KS test needs two non-empty samples");
+    a.sort_by(|x, y| x.partial_cmp(y).expect("NaNs filtered"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("NaNs filtered"));
+    let (n1, n2) = (a.len(), b.len());
+    // Sweep the merged sample, tracking the ECDF gap.
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = a[i].min(b[j]);
+        while i < n1 && a[i] <= x {
+            i += 1;
+        }
+        while j < n2 && b[j] <= x {
+            j += 1;
+        }
+        let gap = (i as f64 / n1 as f64 - j as f64 / n2 as f64).abs();
+        d = d.max(gap);
+    }
+    let en = ((n1 * n2) as f64 / (n1 + n2) as f64).sqrt();
+    KsTest { statistic: d, p_value: kolmogorov_sf((en + 0.12 + 0.11 / en) * d), n: (n1, n2) }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²)` (Numerical Recipes form).
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    let mut term_prev = f64::MAX;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term <= 1e-17 || term / term_prev.max(1e-300) < 1e-10 && k > 3 {
+            break;
+        }
+        term_prev = term;
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let t = ks_two_sample(&a, &a);
+        assert_eq!(t.statistic, 0.0);
+        assert!(t.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let t = ks_two_sample(&a, &b);
+        assert!((t.statistic - 1.0).abs() < 1e-12);
+        assert!(t.p_value < 0.1);
+    }
+
+    #[test]
+    fn same_distribution_not_rejected() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let a: Vec<f64> = (0..800).map(|_| rng.next_f64()).collect();
+        let b: Vec<f64> = (0..800).map(|_| rng.next_f64()).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(t.p_value > 0.01, "p = {} (d = {})", t.p_value, t.statistic);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let a: Vec<f64> = (0..500).map(|_| rng.next_f64()).collect();
+        let b: Vec<f64> = (0..500).map(|_| rng.next_f64() + 0.25).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(t.p_value < 1e-6, "p = {}", t.p_value);
+        assert!(t.statistic > 0.2);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Known values of the Kolmogorov distribution.
+        assert!((kolmogorov_sf(1.36) - 0.0505).abs() < 3e-3); // ~5% point
+        assert!((kolmogorov_sf(1.63) - 0.0098).abs() < 2e-3); // ~1% point
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn sf_is_monotone() {
+        let mut prev = 1.0;
+        for i in 0..60 {
+            let x = i as f64 * 0.1;
+            let p = kolmogorov_sf(x);
+            assert!(p <= prev + 1e-12, "at {x}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn unequal_sizes_supported() {
+        let a = [0.0, 1.0];
+        let b = [0.5, 0.6, 0.7, 10.0, 11.0];
+        let t = ks_two_sample(&a, &b);
+        assert_eq!(t.n, (2, 5));
+        assert!(t.statistic > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_panics() {
+        let _ = ks_two_sample(&[], &[1.0]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Log-gamma and log-binomial coefficients.
+//!
+//! The exact binomial test sums terms `C(y, k) θ^k (1-θ)^(y-k)` for `y` in
+//! the tens of thousands (one per block in dataset 𝒞); computing them in
+//! log space via `ln Γ` keeps everything finite and accurate.
+
+/// Natural log of the gamma function for `x > 0`, via the Lanczos
+/// approximation (g = 7, n = 9), accurate to ~1e-13 relative error.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural log of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`; `-inf` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Numerically stable `ln(exp(a) + exp(b))`.
+pub fn ln_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * b.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert_close(ln_gamma(1.0), 0.0, 1e-12);
+        assert_close(ln_gamma(2.0), 0.0, 1e-12);
+        assert_close(ln_gamma(5.0), (24.0f64).ln(), 1e-12); // Γ(5)=4!
+        assert_close(ln_gamma(0.5), (std::f64::consts::PI.sqrt()).ln(), 1e-12);
+        // Reference value from C99 lgamma(10.3).
+        assert_close(ln_gamma(10.3), 13.482_036_786_138_36, 1e-10);
+    }
+
+    #[test]
+    fn factorial_matches_direct() {
+        let mut direct = 0.0f64;
+        for n in 1..=170u64 {
+            direct += (n as f64).ln();
+            assert_close(ln_factorial(n), direct, 1e-11);
+        }
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+    }
+
+    #[test]
+    fn binomial_small_cases() {
+        assert_close(ln_binomial(5, 2), (10.0f64).ln(), 1e-12);
+        assert_close(ln_binomial(10, 5), (252.0f64).ln(), 1e-12);
+        assert_eq!(ln_binomial(5, 0), 0.0);
+        assert_eq!(ln_binomial(5, 5), 0.0);
+        assert_eq!(ln_binomial(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_symmetry_and_pascal() {
+        for n in [20u64, 100, 1000] {
+            for k in [1u64, 3, n / 2] {
+                assert_close(ln_binomial(n, k), ln_binomial(n, n - k), 1e-10);
+                // Pascal: C(n,k) = C(n-1,k-1) + C(n-1,k)
+                let lhs = ln_binomial(n, k);
+                let rhs = ln_add_exp(ln_binomial(n - 1, k - 1), ln_binomial(n - 1, k));
+                assert_close(lhs, rhs, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn ln_add_exp_handles_extremes() {
+        assert_eq!(ln_add_exp(f64::NEG_INFINITY, 3.0), 3.0);
+        assert_eq!(ln_add_exp(3.0, f64::NEG_INFINITY), 3.0);
+        assert_close(ln_add_exp(0.0, 0.0), (2.0f64).ln(), 1e-14);
+        // One term dominating by 800 nats must not overflow.
+        assert_close(ln_add_exp(-1000.0, -200.0), -200.0, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Five-number-plus summaries, matching the paper's Table 5 columns
+//! (`mean std min 25-perc median 75-perc max`).
+
+use crate::ecdf::Ecdf;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n = 1).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary, ignoring NaNs.
+    ///
+    /// # Panics
+    /// Panics when the NaN-filtered sample is empty.
+    pub fn of(values: &[f64]) -> Summary {
+        let ecdf = Ecdf::new(values.to_vec());
+        let n = ecdf.len();
+        let mean = ecdf.mean();
+        let var = if n > 1 {
+            ecdf.values().iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: ecdf.min(),
+            p25: ecdf.quantile(0.25),
+            median: ecdf.quantile(0.5),
+            p75: ecdf.quantile(0.75),
+            max: ecdf.max(),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} std={:.2} min={:.2} p25={:.2} median={:.2} p75={:.2} max={:.2}",
+            self.n, self.mean, self.std, self.min, self.p25, self.median, self.p75, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std with n-1: sqrt(32/7)
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.max, 3.5);
+        assert_eq!(s.median, 3.5);
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        let text = s.to_string();
+        assert!(text.contains("n=3"));
+        assert!(text.contains("mean=2.00"));
+    }
+}

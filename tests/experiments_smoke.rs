@@ -1,0 +1,52 @@
+//! Smoke tests over the experiment harness: every registered id resolves,
+//! and the cheap experiments produce sane reports end to end.
+
+use cn_bench::{run_experiment, Lab, ALL_IDS};
+
+#[test]
+fn every_id_resolves() {
+    let lab = Lab::quick();
+    for id in ALL_IDS {
+        // Resolution only — running all of them is the binary's job.
+        // fig1 is dataset-free, so run it for real.
+        if *id == "fig1" {
+            let report = run_experiment(id, &lab).expect("registered");
+            assert!(report.contains("pre-2016"));
+            assert!(report.contains("post-2016"));
+        }
+    }
+    assert!(run_experiment("not-an-id", &lab).is_none());
+}
+
+#[test]
+fn fig1_shows_the_norm_shift() {
+    let lab = Lab::quick();
+    let report = run_experiment("fig1", &lab).expect("runs");
+    // The era contrast must be stark: extract the two mean PPE lines.
+    let pre_line = report.lines().find(|l| l.starts_with("pre-2016")).expect("pre line");
+    let post_line = report.lines().find(|l| l.starts_with("post-2016")).expect("post line");
+    let mean_of = |line: &str| -> f64 {
+        line.split("mean PPE ")
+            .nth(1)
+            .and_then(|s| s.split('%').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("mean parsable")
+    };
+    let (pre, post) = (mean_of(pre_line), mean_of(post_line));
+    assert!(pre > 20.0, "pre-2016 mean PPE {pre}");
+    assert!(post < 1.0, "post-2016 mean PPE {post}");
+}
+
+#[test]
+fn quick_lab_datasets_feed_cheap_experiments() {
+    // One lab, several experiments sharing its simulations: exercises the
+    // OnceLock sharing and a representative experiment per dataset.
+    let lab = Lab::quick();
+    let fig9 = run_experiment("fig9", &lab).expect("runs"); // dataset B
+    assert!(fig9.contains("Mempool size over time"));
+    assert!(fig9.contains("congested fraction"));
+    let fig13 = run_experiment("fig13", &lab).expect("runs"); // dataset C
+    assert!(fig13.contains("scam window"));
+    let norm3 = run_experiment("norm3", &lab).expect("runs");
+    assert!(norm3.contains("below-floor"));
+}
