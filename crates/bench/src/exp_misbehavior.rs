@@ -256,7 +256,7 @@ pub fn fig13(lab: &Lab) -> String {
             None => counts.push((name, 1, block.txs.len())),
         }
     }
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|c| std::cmp::Reverse(c.1));
     let total: usize = counts.iter().map(|(_, b, _)| b).sum();
     let mut table = Table::new(&["pool", "blocks", "share", "txs"]);
     for (name, blocks, txs) in counts.iter().take(20) {

@@ -7,13 +7,16 @@
 //! standard audit.
 
 use crate::attribution::{attribute, Attribution};
+use crate::coverage::{SnapshotCoverage, StreamExpectation};
 use crate::darkfee::miner_tx_sppes;
+use crate::error::AuditError;
 use crate::index::ChainIndex;
 use crate::ppe::ppe_by_miner;
 use crate::prioritization::{differential_prioritization, DifferentialTest};
 use crate::self_interest::find_self_interest_transactions;
 use crate::sppe::sppe_for_miner;
 use cn_chain::{Chain, Txid};
+use cn_mempool::MempoolSnapshot;
 use std::collections::HashSet;
 use std::fmt;
 
@@ -106,6 +109,10 @@ pub struct AuditReport {
     pub findings: Vec<Finding>,
     /// The configuration used.
     pub config: AuditConfig,
+    /// Observation coverage, when the audit consumed a snapshot stream
+    /// ([`audit_with_snapshots`]); `None` for chain-only audits, which
+    /// have no observation layer to degrade.
+    pub coverage: Option<SnapshotCoverage>,
 }
 
 impl AuditReport {
@@ -150,6 +157,15 @@ impl AuditReport {
                 let _ = writeln!(out, "  - {finding}");
             }
         }
+        if let Some(cov) = &self.coverage {
+            out.push_str(&cov.render());
+            if !cov.is_complete() {
+                let _ = writeln!(
+                    out,
+                    "warning: degraded observation — absence of findings is weak evidence"
+                );
+            }
+        }
         out
     }
 }
@@ -172,7 +188,9 @@ pub fn audit_chain(chain: &Chain, index: &ChainIndex, config: AuditConfig) -> Au
             })
         })
         .collect();
-    mean_ppe_by_miner.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite PPE"));
+    // total_cmp: a NaN PPE (conceivable on degraded inputs) must not
+    // panic the whole audit; it sorts to a stable position instead.
+    mean_ppe_by_miner.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut findings = Vec::new();
     // Differential prioritization of every top owner's transactions by
@@ -220,18 +238,56 @@ pub fn audit_chain(chain: &Chain, index: &ChainIndex, config: AuditConfig) -> Au
             | Finding::CollusiveAcceleration { test, .. } => test.p_accelerate,
             Finding::DarkFeeSuspects { .. } => 1.0,
         };
-        p(a).partial_cmp(&p(b)).expect("p-values finite")
+        p(a).total_cmp(&p(b))
     });
 
-    AuditReport { attribution, mean_ppe_by_miner, findings, config }
+    AuditReport { attribution, mean_ppe_by_miner, findings, config, coverage: None }
+}
+
+/// Runs the standard audit over a chain *and* its observer snapshot
+/// stream, degrading gracefully when the stream is damaged.
+///
+/// The returned report always carries a [`SnapshotCoverage`] block; its
+/// confidence quantifies how much observation survived. Errors:
+///
+/// * [`AuditError::EmptySnapshotStream`] — nothing was observed at all;
+///   a "snapshot-based" audit over zero snapshots would be the chain-only
+///   audit wearing a costume.
+/// * [`AuditError::InsufficientCoverage`] — coverage fell below
+///   `expectation.min_coverage`.
+///
+/// A stream with gaps, truncated dumps, or no detailed snapshots at all
+/// still audits (the chain-side tests don't need snapshots) — but the
+/// report says exactly how blind the observer was.
+pub fn audit_with_snapshots(
+    chain: &Chain,
+    index: &ChainIndex,
+    snapshots: &[MempoolSnapshot],
+    expectation: StreamExpectation,
+    config: AuditConfig,
+) -> Result<AuditReport, AuditError> {
+    if snapshots.is_empty() {
+        return Err(AuditError::EmptySnapshotStream);
+    }
+    let coverage = SnapshotCoverage::assess(snapshots, expectation.windows, expectation.detailed)
+        .with_chain(snapshots, index);
+    let confidence = coverage.confidence();
+    if confidence < expectation.min_coverage {
+        return Err(AuditError::InsufficientCoverage {
+            coverage: confidence,
+            required: expectation.min_coverage,
+        });
+    }
+    let mut report = audit_chain(chain, index, config);
+    report.coverage = Some(coverage);
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cn_chain::{
-        Address, Amount, Block, BlockHash, CoinbaseBuilder, Params, PoolMarker, Transaction,
-    };
+    use cn_chain::{Address, Amount, Block, CoinbaseBuilder, Params, PoolMarker, Transaction};
+    use cn_mempool::SnapshotEntry;
 
     /// A chain where pool "Cheat" always tops its blocks with a transfer
     /// from its own wallet at the lowest fee rate, while "Fair" follows
@@ -358,5 +414,42 @@ mod tests {
         let c = AuditConfig::default();
         assert_eq!(c.alpha, 0.001);
         assert_eq!(c.top_k, 10);
+    }
+
+    #[test]
+    fn snapshot_audit_rejects_empty_stream() {
+        let (chain, index) = rigged_chain();
+        let exp = StreamExpectation::from_run(12_000, 15, 4);
+        let err = audit_with_snapshots(&chain, &index, &[], exp, AuditConfig::default());
+        assert_eq!(err.expect_err("empty stream must error"), AuditError::EmptySnapshotStream);
+    }
+
+    #[test]
+    fn snapshot_audit_reports_degraded_coverage() {
+        let (chain, index) = rigged_chain();
+        // One lone detailed snapshot where ~800 windows were expected.
+        let snap = MempoolSnapshot::from_entries(
+            15,
+            vec![SnapshotEntry {
+                txid: cn_chain::Txid::from([9; 32]),
+                received: 10,
+                fee: Amount::from_sat(1_000),
+                vsize: 100,
+                has_unconfirmed_parent: false,
+            }],
+        );
+        let exp = StreamExpectation::from_run(12_000, 15, 4);
+        let report =
+            audit_with_snapshots(&chain, &index, std::slice::from_ref(&snap), exp, AuditConfig::default())
+                .expect("degrades, not errors");
+        let cov = report.coverage.expect("coverage present");
+        assert!(cov.confidence() < 1.0);
+        assert!(report.render().contains("coverage:"));
+        assert!(report.render().contains("degraded observation"));
+
+        // The same stream fails a 50 % coverage floor.
+        let strict = exp.with_min_coverage(0.5);
+        let err = audit_with_snapshots(&chain, &index, &[snap], strict, AuditConfig::default());
+        assert!(matches!(err, Err(AuditError::InsufficientCoverage { .. })));
     }
 }

@@ -1,6 +1,7 @@
 //! Mempool congestion analysis (§4.1, Figures 3, 4b–c, 9, 11).
 
 use crate::delay::first_seen_times;
+use crate::error::AuditError;
 use cn_chain::{Timestamp, Txid};
 use cn_mempool::MempoolSnapshot;
 use std::collections::HashMap;
@@ -8,6 +9,18 @@ use std::collections::HashMap;
 /// The Mempool-size time series in vbytes (Figures 3c and 9).
 pub fn size_series(snapshots: &[MempoolSnapshot]) -> Vec<(Timestamp, u64)> {
     snapshots.iter().map(|s| (s.time, s.total_vsize())).collect()
+}
+
+/// Checked variant of [`size_series`]: an empty stream is an error, not
+/// an empty series — a congestion analysis over zero windows says
+/// nothing, and downstream means over it would be 0/0.
+pub fn size_series_checked(
+    snapshots: &[MempoolSnapshot],
+) -> Result<Vec<(Timestamp, u64)>, AuditError> {
+    if snapshots.is_empty() {
+        return Err(AuditError::EmptySnapshotStream);
+    }
+    Ok(size_series(snapshots))
 }
 
 /// Fraction of snapshots whose backlog exceeds one block capacity — the

@@ -5,10 +5,27 @@
 //! including the one that committed it. "Committed in the next block"
 //! is a delay of 1.
 
+use crate::error::AuditError;
 use crate::index::ChainIndex;
 use cn_chain::{FeeRate, Timestamp, Txid};
 use cn_mempool::MempoolSnapshot;
 use std::collections::HashMap;
+
+/// Checked variant of [`first_seen_times`] for pipelines over possibly
+/// degraded streams: distinguishes "nothing was recorded" and "only
+/// aggregates were recorded" — both of which the unchecked variant
+/// silently maps to an empty join — from a genuinely empty result.
+pub fn first_seen_times_checked(
+    snapshots: &[MempoolSnapshot],
+) -> Result<HashMap<Txid, Timestamp>, AuditError> {
+    if snapshots.is_empty() {
+        return Err(AuditError::EmptySnapshotStream);
+    }
+    if !snapshots.iter().any(|s| s.is_detailed()) {
+        return Err(AuditError::NoDetailedSnapshots);
+    }
+    Ok(first_seen_times(snapshots))
+}
 
 /// First time each transaction was observed across a snapshot stream.
 pub fn first_seen_times(snapshots: &[MempoolSnapshot]) -> HashMap<Txid, Timestamp> {

@@ -35,7 +35,14 @@
 //! * [`displacement`] — an extension quantifying the economic harm each
 //!   norm violation causes to honestly bidding users (§6).
 //! * [`auditor`] — the one-call driver composing all of the above into a
-//!   typed [`auditor::AuditReport`].
+//!   typed [`auditor::AuditReport`]; `audit_with_snapshots` additionally
+//!   consumes the observer stream and degrades gracefully when it is
+//!   damaged.
+//! * [`error`], [`coverage`] — the typed failure taxonomy
+//!   ([`error::AuditError`]) and observation-coverage accounting
+//!   ([`coverage::SnapshotCoverage`]) behind degraded-data tolerance:
+//!   audits over gapped or truncated snapshot streams return errors or
+//!   coverage-qualified reports instead of panicking.
 //! * [`report`] — plain-text table rendering used by the experiment
 //!   harness.
 
@@ -45,10 +52,12 @@
 pub mod attribution;
 pub mod auditor;
 pub mod congestion;
+pub mod coverage;
 pub mod cpfp;
 pub mod darkfee;
 pub mod delay;
 pub mod displacement;
+pub mod error;
 pub mod index;
 pub mod lowfee;
 pub mod pairs;
@@ -59,7 +68,9 @@ pub mod self_interest;
 pub mod sppe;
 
 pub use attribution::{attribute, Attribution, PoolStats};
-pub use auditor::{audit_chain, AuditConfig, AuditReport, Finding};
+pub use auditor::{audit_chain, audit_with_snapshots, AuditConfig, AuditReport, Finding};
+pub use coverage::{SnapshotCoverage, StreamExpectation};
+pub use error::AuditError;
 pub use darkfee::{sppe_threshold_table, SppeThresholdRow};
 pub use index::{BlockInfo, ChainIndex, TxRecord};
 pub use pairs::{count_violations_cdq, count_violations_reference, PairObservation, PairStats};

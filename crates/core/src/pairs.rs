@@ -18,7 +18,22 @@
 //! (CDQ) counter over a Fenwick tree, plus the candidate-pair count
 //! (pairs where the norm makes a prediction at all) for normalization.
 
+use crate::error::AuditError;
 use cn_chain::{FeeRate, Timestamp};
+
+/// Checked entry point for degraded streams: violation counting over an
+/// empty observation set (every detailed snapshot lost or truncated to
+/// nothing) is reported as the data problem it is, instead of a zero
+/// count that reads as "no violations".
+pub fn count_violations_checked(
+    obs: &[PairObservation],
+    epsilon: u64,
+) -> Result<PairStats, AuditError> {
+    if obs.is_empty() {
+        return Err(AuditError::NoDetailedSnapshots);
+    }
+    Ok(count_violations_cdq(obs, epsilon))
+}
 
 /// One confirmed transaction as the pair analysis sees it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

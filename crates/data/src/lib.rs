@@ -28,5 +28,5 @@ pub mod datasets;
 pub mod legacy;
 pub mod pools;
 
-pub use datasets::{dataset_a, dataset_b, dataset_c, Scale};
+pub use datasets::{dataset_a, dataset_b, dataset_c, dataset_faulty, Scale};
 pub use pools::{roster_2019_a, roster_2019_b, roster_2020, PoolSpec};

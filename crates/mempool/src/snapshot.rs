@@ -47,6 +47,7 @@ pub struct MempoolSnapshot {
     /// Resident transactions, sorted by txid (empty for light snapshots).
     pub entries: Vec<SnapshotEntry>,
     detailed: bool,
+    truncated: bool,
     count: usize,
     vsize: u64,
 }
@@ -57,17 +58,41 @@ impl MempoolSnapshot {
         entries.sort_by_key(|e| e.txid);
         let count = entries.len();
         let vsize = entries.iter().map(|e| e.vsize).sum();
-        MempoolSnapshot { time, entries, detailed: true, count, vsize }
+        MempoolSnapshot { time, entries, detailed: true, truncated: false, count, vsize }
     }
 
     /// Builds a light snapshot carrying only aggregates.
     pub fn light(time: Timestamp, count: usize, vsize: u64) -> MempoolSnapshot {
-        MempoolSnapshot { time, entries: Vec::new(), detailed: false, count, vsize }
+        MempoolSnapshot { time, entries: Vec::new(), detailed: false, truncated: false, count, vsize }
+    }
+
+    /// A copy of this detailed snapshot with its per-transaction dump cut
+    /// off partway — what an interrupted RPC transfer leaves behind. Keeps
+    /// the first `keep_frac` of the txid-sorted rows, recomputes the
+    /// aggregates from the surviving rows (the cut loses them too), and
+    /// marks the result [`MempoolSnapshot::is_truncated`]. Light snapshots
+    /// are returned unchanged: they carry no dump to truncate.
+    pub fn truncate_detail(&self, keep_frac: f64) -> MempoolSnapshot {
+        if !self.detailed {
+            return self.clone();
+        }
+        let keep = (self.entries.len() as f64 * keep_frac.clamp(0.0, 1.0)) as usize;
+        let entries: Vec<SnapshotEntry> = self.entries[..keep.min(self.entries.len())].to_vec();
+        let count = entries.len();
+        let vsize = entries.iter().map(|e| e.vsize).sum();
+        MempoolSnapshot { time: self.time, entries, detailed: true, truncated: true, count, vsize }
     }
 
     /// True when per-transaction rows are present.
     pub fn is_detailed(&self) -> bool {
         self.detailed
+    }
+
+    /// True when this snapshot's detail dump was cut off partway; its
+    /// rows and aggregates undercount the real backlog, and coverage
+    /// accounting treats it as a degraded observation window.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
     }
 
     /// Number of unconfirmed transactions at snapshot time.
@@ -154,5 +179,32 @@ mod tests {
     fn fee_rate_computed_per_entry() {
         let e = entry(1, 250, 500);
         assert_eq!(e.fee_rate(), FeeRate::from_sat_per_vb(2));
+    }
+
+    #[test]
+    fn truncation_keeps_prefix_and_marks_snapshot() {
+        let snap = MempoolSnapshot::from_entries(
+            15,
+            (1..=10).map(|i| entry(i, 100, 1_000)).collect(),
+        );
+        let cut = snap.truncate_detail(0.5);
+        assert!(cut.is_truncated());
+        assert!(cut.is_detailed());
+        assert_eq!(cut.len(), 5);
+        assert_eq!(cut.total_vsize(), 500);
+        assert_eq!(cut.entries[0].txid, Txid::from([1; 32]));
+        assert!(!snap.is_truncated(), "original untouched");
+
+        // Degenerate fractions clamp instead of panicking.
+        assert_eq!(snap.truncate_detail(2.0).len(), 10);
+        assert_eq!(snap.truncate_detail(-1.0).len(), 0);
+    }
+
+    #[test]
+    fn truncating_light_snapshot_is_identity() {
+        let light = MempoolSnapshot::light(30, 100, 50_000);
+        let cut = light.truncate_detail(0.2);
+        assert_eq!(cut, light);
+        assert!(!cut.is_truncated());
     }
 }

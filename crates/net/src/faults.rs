@@ -1,0 +1,316 @@
+//! Fault injection: the knobs that degrade the P2P and observation layers.
+//!
+//! Real measurement pipelines never see the clean world the rest of this
+//! workspace simulates: relay links drop and delay announcements, peers
+//! deliver the same transaction twice or out of order, observer daemons
+//! crash and leave holes in the snapshot stream, and RPC dumps get cut
+//! off mid-transfer. A [`FaultPlan`] describes all of that declaratively;
+//! the simulation runner samples from it, and the audit layer is expected
+//! to survive (and quantify) the resulting damage.
+//!
+//! A plan with every knob at zero — [`FaultPlan::none`] — must be
+//! *inert*: the runner guards every fault draw behind
+//! [`FaultPlan::enabled`], so a disabled plan leaves the event stream
+//! bit-identical to a build without this module.
+
+use cn_stats::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-delivery link degradation, sampled independently for every
+/// (transaction, stakeholder) delivery the runner schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkFaults {
+    /// Probability a delivery is silently lost (never reaches the node).
+    pub loss_prob: f64,
+    /// Probability a delivery suffers a latency spike.
+    pub spike_prob: f64,
+    /// Extra delay added by a spike, in milliseconds.
+    pub spike_ms: u64,
+    /// Probability a delivery arrives twice (the duplicate trails the
+    /// original by up to [`LinkFaults::jitter_ms`]).
+    pub duplicate_prob: f64,
+    /// Probability a delivery is jittered out of order relative to other
+    /// in-flight transactions.
+    pub reorder_prob: f64,
+    /// Uniform jitter bound for reordered and duplicated deliveries, ms.
+    pub jitter_ms: u64,
+}
+
+impl LinkFaults {
+    /// No link degradation.
+    pub fn none() -> LinkFaults {
+        LinkFaults {
+            loss_prob: 0.0,
+            spike_prob: 0.0,
+            spike_ms: 0,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+            jitter_ms: 0,
+        }
+    }
+
+    /// True when any knob can fire.
+    pub fn enabled(&self) -> bool {
+        self.loss_prob > 0.0
+            || self.spike_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.reorder_prob > 0.0
+    }
+
+    /// Extra delivery delay in milliseconds, or `None` when the delivery
+    /// is lost. Draws from `rng` only for knobs that are switched on, so
+    /// two plans differing in one knob keep the other draws aligned.
+    pub fn sample_delivery(&self, rng: &mut SimRng) -> Option<u64> {
+        if self.loss_prob > 0.0 && rng.next_bool(self.loss_prob) {
+            return None;
+        }
+        let mut extra = 0u64;
+        if self.spike_prob > 0.0 && rng.next_bool(self.spike_prob) {
+            extra += self.spike_ms;
+        }
+        if self.reorder_prob > 0.0 && rng.next_bool(self.reorder_prob) {
+            extra += rng.next_below(self.jitter_ms.max(1));
+        }
+        Some(extra)
+    }
+
+    /// Trailing delay for a duplicate delivery, or `None` when this
+    /// delivery is not duplicated.
+    pub fn sample_duplicate(&self, rng: &mut SimRng) -> Option<u64> {
+        if self.duplicate_prob > 0.0 && rng.next_bool(self.duplicate_prob) {
+            Some(1 + rng.next_below(self.jitter_ms.max(1)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Observer-side degradation: snapshot gaps and truncated detail dumps.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObserverFaults {
+    /// Fraction of the run the observer is down (snapshot windows inside
+    /// an outage are simply missing from the stream).
+    pub downtime_frac: f64,
+    /// Number of distinct outage spells the downtime is spread over.
+    pub downtime_spells: usize,
+    /// Probability a detailed snapshot is truncated (its per-transaction
+    /// dump cut off partway, as an interrupted RPC would be).
+    pub truncate_prob: f64,
+    /// Fraction of rows a truncated snapshot keeps.
+    pub truncate_keep_frac: f64,
+}
+
+impl ObserverFaults {
+    /// A fully available observer.
+    pub fn none() -> ObserverFaults {
+        ObserverFaults {
+            downtime_frac: 0.0,
+            downtime_spells: 0,
+            truncate_prob: 0.0,
+            truncate_keep_frac: 1.0,
+        }
+    }
+
+    /// True when any knob can fire.
+    pub fn enabled(&self) -> bool {
+        (self.downtime_frac > 0.0 && self.downtime_spells > 0) || self.truncate_prob > 0.0
+    }
+
+    /// The outage windows over a run of `duration_ms`, as half-open
+    /// `[start, end)` millisecond intervals. Spells are evenly spaced and
+    /// equally sized — deterministic, so a plan fully determines which
+    /// snapshot windows go missing.
+    pub fn downtime_windows_ms(&self, duration_ms: u64) -> Vec<(u64, u64)> {
+        if self.downtime_frac <= 0.0 || self.downtime_spells == 0 {
+            return Vec::new();
+        }
+        let spells = self.downtime_spells as u64;
+        let spell_len = (self.downtime_frac * duration_ms as f64 / spells as f64) as u64;
+        let stride = duration_ms / spells;
+        (0..spells)
+            .map(|k| {
+                let center = k * stride + stride / 2;
+                let start = center.saturating_sub(spell_len / 2);
+                (start, (start + spell_len).min(duration_ms))
+            })
+            .collect()
+    }
+}
+
+/// The complete fault model for one scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Link-level delivery faults.
+    pub link: LinkFaults,
+    /// Observer-side faults.
+    pub observer: ObserverFaults,
+    /// Probability a found block loses a propagation race to a
+    /// same-height competitor and is orphaned (never enters the chain).
+    pub stale_tip_prob: f64,
+}
+
+impl FaultPlan {
+    /// A fully inert plan: no fault draw ever happens under it.
+    pub fn none() -> FaultPlan {
+        FaultPlan { link: LinkFaults::none(), observer: ObserverFaults::none(), stale_tip_prob: 0.0 }
+    }
+
+    /// True when any fault can fire anywhere.
+    pub fn enabled(&self) -> bool {
+        self.link.enabled() || self.observer.enabled() || self.stale_tip_prob > 0.0
+    }
+
+    /// A calibrated plan at `intensity` in `[0, 1]`: every knob scales
+    /// linearly from inert (0.0) to severely degraded (1.0) — at full
+    /// intensity a fifth of deliveries are lost, the observer misses a
+    /// third of the run, and most detail dumps are cut in half.
+    pub fn scaled(intensity: f64) -> FaultPlan {
+        let i = intensity.clamp(0.0, 1.0);
+        if i == 0.0 {
+            return FaultPlan::none();
+        }
+        FaultPlan {
+            link: LinkFaults {
+                loss_prob: 0.20 * i,
+                spike_prob: 0.25 * i,
+                spike_ms: (45_000.0 * i) as u64,
+                duplicate_prob: 0.15 * i,
+                reorder_prob: 0.25 * i,
+                jitter_ms: (20_000.0 * i) as u64,
+            },
+            observer: ObserverFaults {
+                downtime_frac: 0.35 * i,
+                downtime_spells: 3,
+                truncate_prob: 0.5 * i,
+                truncate_keep_frac: 1.0 - 0.5 * i,
+            },
+            stale_tip_prob: 0.10 * i,
+        }
+    }
+
+    /// Sanity checks, surfaced through `Scenario::validate`.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("link.loss_prob", self.link.loss_prob),
+            ("link.spike_prob", self.link.spike_prob),
+            ("link.duplicate_prob", self.link.duplicate_prob),
+            ("link.reorder_prob", self.link.reorder_prob),
+            ("observer.truncate_prob", self.observer.truncate_prob),
+            ("observer.truncate_keep_frac", self.observer.truncate_keep_frac),
+            ("stale_tip_prob", self.stale_tip_prob),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault plan: {name} must be in [0,1], got {p}"));
+            }
+        }
+        if !(0.0..=0.9).contains(&self.observer.downtime_frac) {
+            return Err(format!(
+                "fault plan: observer.downtime_frac must be in [0,0.9], got {}",
+                self.observer.downtime_frac
+            ));
+        }
+        if self.observer.downtime_frac > 0.0 && self.observer.downtime_spells == 0 {
+            return Err("fault plan: downtime_frac > 0 needs at least one spell".into());
+        }
+        if self.stale_tip_prob >= 1.0 {
+            return Err("fault plan: stale_tip_prob must be < 1 or no block ever connects".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_and_valid() {
+        let plan = FaultPlan::none();
+        assert!(!plan.enabled());
+        assert_eq!(plan.validate(), Ok(()));
+        assert!(plan.observer.downtime_windows_ms(86_400_000).is_empty());
+    }
+
+    #[test]
+    fn scaled_zero_equals_none() {
+        assert_eq!(FaultPlan::scaled(0.0), FaultPlan::none());
+    }
+
+    #[test]
+    fn scaled_plans_validate_across_range() {
+        for i in [0.1, 0.35, 0.6, 0.85, 1.0] {
+            let plan = FaultPlan::scaled(i);
+            assert!(plan.enabled(), "intensity {i} should enable faults");
+            assert_eq!(plan.validate(), Ok(()), "intensity {i}");
+        }
+    }
+
+    #[test]
+    fn scaled_is_monotone_in_intensity() {
+        let lo = FaultPlan::scaled(0.3);
+        let hi = FaultPlan::scaled(0.9);
+        assert!(hi.link.loss_prob > lo.link.loss_prob);
+        assert!(hi.observer.downtime_frac > lo.observer.downtime_frac);
+        assert!(hi.stale_tip_prob > lo.stale_tip_prob);
+    }
+
+    #[test]
+    fn downtime_windows_cover_requested_fraction() {
+        let obs = ObserverFaults {
+            downtime_frac: 0.3,
+            downtime_spells: 3,
+            truncate_prob: 0.0,
+            truncate_keep_frac: 1.0,
+        };
+        let duration = 600_000u64;
+        let windows = obs.downtime_windows_ms(duration);
+        assert_eq!(windows.len(), 3);
+        let covered: u64 = windows.iter().map(|(s, e)| e - s).sum();
+        let frac = covered as f64 / duration as f64;
+        assert!((frac - 0.3).abs() < 0.02, "covered {frac}");
+        // Windows are disjoint and ordered.
+        for pair in windows.windows(2) {
+            assert!(pair[0].1 <= pair[1].0, "overlapping windows {windows:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        let mut plan = FaultPlan::none();
+        plan.link.loss_prob = 1.5;
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.observer.downtime_frac = 0.95;
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none();
+        plan.observer.downtime_frac = 0.2;
+        plan.observer.downtime_spells = 0;
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn loss_rate_tracks_probability() {
+        let faults = LinkFaults { loss_prob: 0.4, ..LinkFaults::none() };
+        let mut rng = SimRng::seed_from_u64(11);
+        let lost = (0..10_000).filter(|_| faults.sample_delivery(&mut rng).is_none()).count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.4).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    fn disabled_knobs_never_draw() {
+        // A plan with everything off must not consume rng state even when
+        // sampled — that is what keeps FaultPlan::none() bit-inert.
+        let faults = LinkFaults::none();
+        let mut a = SimRng::seed_from_u64(3);
+        let b = SimRng::seed_from_u64(3);
+        assert_eq!(faults.sample_delivery(&mut a), Some(0));
+        assert_eq!(faults.sample_duplicate(&mut a), None);
+        let mut a2 = a;
+        let mut b2 = b;
+        assert_eq!(a2.next_raw(), b2.next_raw());
+    }
+}

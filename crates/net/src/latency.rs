@@ -55,7 +55,7 @@ mod tests {
 
     fn setup() -> (Topology, LatencyModel) {
         let mut rng = SimRng::seed_from_u64(4);
-        let t = Topology::random(12, &vec![4; 12], &mut rng);
+        let t = Topology::random(12, &[4; 12], &mut rng);
         let l = LatencyModel::sample(&t, 1.5, 0.6, &mut rng);
         (t, l)
     }

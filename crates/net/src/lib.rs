@@ -12,6 +12,9 @@
 //! * [`latency::LatencyModel`] — per-link log-normal propagation delays
 //!   (inv/getdata round-trips in real Bitcoin take on the order of
 //!   seconds).
+//! * [`faults::FaultPlan`] — declarative degradation of the substrate:
+//!   lossy/spiky/duplicating links, observer downtime and truncated
+//!   snapshot dumps, stale-tip block races.
 //! * [`network::Network`] — nodes with roles (relay, observer, miner hub),
 //!   each stakeholder holding its own [`cn_mempool::Mempool`] view.
 //!   Flooding is modelled exactly: under flood relay the first arrival at
@@ -21,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod latency;
 pub mod network;
 pub mod topology;
 
+pub use faults::{FaultPlan, LinkFaults, ObserverFaults};
 pub use latency::LatencyModel;
 pub use network::{Network, NodeId, NodeRole};
 pub use topology::Topology;

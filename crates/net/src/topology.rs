@@ -119,7 +119,7 @@ mod tests {
     #[test]
     fn edges_are_symmetric_and_unique() {
         let mut rng = SimRng::seed_from_u64(2);
-        let t = Topology::random(20, &vec![5; 20], &mut rng);
+        let t = Topology::random(20, &[5; 20], &mut rng);
         for (a, b) in t.edges() {
             assert!(a < b);
             assert!(t.neighbors(a).contains(&b));
@@ -136,8 +136,8 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let a = Topology::random(15, &vec![4; 15], &mut SimRng::seed_from_u64(9));
-        let b = Topology::random(15, &vec![4; 15], &mut SimRng::seed_from_u64(9));
+        let a = Topology::random(15, &[4; 15], &mut SimRng::seed_from_u64(9));
+        let b = Topology::random(15, &[4; 15], &mut SimRng::seed_from_u64(9));
         assert_eq!(a, b);
     }
 

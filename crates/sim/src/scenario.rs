@@ -3,6 +3,7 @@
 use crate::profile::CongestionProfile;
 use cn_chain::{Params, Timestamp};
 use cn_mempool::MempoolPolicy;
+use cn_net::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// A misbehaviour (or the absence of one) a pool can exhibit.
@@ -143,6 +144,11 @@ pub struct Scenario {
     pub acceleration_demand: f64,
     /// Optional scam-attack window.
     pub scam: Option<ScamConfig>,
+    /// Fault injection: link loss/latency spikes/duplicates, observer
+    /// downtime and truncated detail dumps, stale-tip block races.
+    /// [`FaultPlan::none`] (the default) is bit-inert: the run is
+    /// identical to one without fault support compiled in.
+    pub faults: FaultPlan,
 }
 
 impl Scenario {
@@ -176,6 +182,7 @@ impl Scenario {
             self_interest_rate: 0.002,
             acceleration_demand: 0.0,
             scam: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -231,6 +238,7 @@ impl Scenario {
                 return Err("donation_prob must be in [0,1]".into());
             }
         }
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -277,6 +285,17 @@ mod tests {
         let mut s = Scenario::base("t", 1);
         s.scam = Some(ScamConfig { window_start: 10, window_end: 10, donation_prob: 0.5 });
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_fault_plan_rejected() {
+        let mut s = Scenario::base("t", 1);
+        s.faults.link.loss_prob = 2.0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::base("t", 1);
+        s.faults = FaultPlan::scaled(0.5);
+        assert_eq!(s.validate(), Ok(()));
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct SimOutput {
     pub block_miners: Vec<usize>,
     /// Dark-fee service handles, per pool (None for non-providers).
     pub services: Vec<Option<Arc<Mutex<AccelerationService>>>>,
+    /// Blocks found but lost to a stale-tip race (fault injection); they
+    /// never entered the chain and are not in `block_miners`.
+    pub orphaned_blocks: usize,
 }
 
 /// Internal event kinds.
@@ -42,8 +45,10 @@ enum Ev {
     IssueUserTx,
     /// A pool issues a transfer from its own wallet.
     IssueSelfTx(usize),
-    /// A transaction reaches a stakeholder node's Mempool.
-    Deliver { node: NodeId, tx: Arc<Transaction>, fee: Amount },
+    /// A transaction reaches a stakeholder node's Mempool. `counted` is
+    /// false for fault-injected duplicate deliveries, which must not
+    /// touch the delivery bookkeeping.
+    Deliver { node: NodeId, tx: Arc<Transaction>, fee: Amount, counted: bool },
     /// A block is found.
     MineBlock,
     /// The observer records a snapshot.
@@ -75,6 +80,14 @@ pub struct World {
     pool_picker: WeightedIndex,
     scam_address: Address,
     snapshot_counter: u64,
+    /// Dedicated fault stream; forked unconditionally (forking never
+    /// advances the parent) but only drawn from when faults are enabled,
+    /// keeping `FaultPlan::none()` runs bit-identical.
+    rng_fault: SimRng,
+    /// Observer outage windows in sim milliseconds, precomputed from the
+    /// fault plan.
+    downtime_ms: Vec<(SimMillis, SimMillis)>,
+    orphaned_blocks: usize,
 }
 
 impl World {
@@ -88,6 +101,8 @@ impl World {
         let mut rng_topo = root.fork("topology");
         let rng_tx = root.fork("transactions");
         let rng_mine = root.fork("mining");
+        let rng_fault = root.fork("faults");
+        let downtime_ms = scenario.faults.observer.downtime_windows_ms(scenario.duration * 1_000);
 
         // --- Node layout: relays | observer | hubs ------------------------
         let relay_count = scenario.relay_nodes.max(2);
@@ -230,6 +245,9 @@ impl World {
             pool_picker,
             scam_address,
             snapshot_counter: 0,
+            rng_fault,
+            downtime_ms,
+            orphaned_blocks: 0,
         }
     }
 
@@ -278,8 +296,8 @@ impl World {
                         queue.schedule(next, Ev::IssueSelfTx(pool));
                     }
                 }
-                Ev::Deliver { node, tx, fee } => {
-                    self.deliver(node, tx, fee, now_ms);
+                Ev::Deliver { node, tx, fee, counted } => {
+                    self.deliver(node, tx, fee, now_ms, counted);
                 }
                 Ev::MineBlock => {
                     self.mine_block(now_ms);
@@ -292,21 +310,37 @@ impl World {
                 }
                 Ev::Snapshot => {
                     let now_secs = now_ms / 1_000;
-                    // Enforce the observer's maxmempool before recording.
-                    if let Some(cap) = self.scenario.observer_max_mempool_vsize {
-                        if let Some(pool) = self.network.mempool_mut(self.observer) {
-                            pool.limit_size(cap);
-                        }
-                    }
+                    // An observer inside an outage window records nothing:
+                    // the window is simply missing from the stream. The
+                    // detail-stride counter still advances so the cadence
+                    // realigns once the daemon is back.
+                    let down =
+                        self.downtime_ms.iter().any(|&(s, e)| now_ms >= s && now_ms < e);
                     let detailed =
-                        self.snapshot_counter % self.scenario.snapshot_detail_every == 0;
+                        self.snapshot_counter.is_multiple_of(self.scenario.snapshot_detail_every);
                     self.snapshot_counter += 1;
-                    if let Some(pool) = self.network.mempool(self.observer) {
-                        self.snapshots.push(if detailed {
-                            pool.snapshot(now_secs)
-                        } else {
-                            pool.snapshot_light(now_secs)
-                        });
+                    if !down {
+                        // Enforce the observer's maxmempool before recording.
+                        if let Some(cap) = self.scenario.observer_max_mempool_vsize {
+                            if let Some(pool) = self.network.mempool_mut(self.observer) {
+                                pool.limit_size(cap);
+                            }
+                        }
+                        if let Some(pool) = self.network.mempool(self.observer) {
+                            let mut snap = if detailed {
+                                pool.snapshot(now_secs)
+                            } else {
+                                pool.snapshot_light(now_secs)
+                            };
+                            let obs_faults = self.scenario.faults.observer;
+                            if detailed
+                                && obs_faults.truncate_prob > 0.0
+                                && self.rng_fault.next_bool(obs_faults.truncate_prob)
+                            {
+                                snap = snap.truncate_detail(obs_faults.truncate_keep_frac);
+                            }
+                            self.snapshots.push(snap);
+                        }
                     }
                     let next = now_ms + self.scenario.snapshot_interval * 1_000;
                     if next < horizon_ms {
@@ -324,6 +358,7 @@ impl World {
             truth: self.truth,
             block_miners: self.block_miners,
             services: self.services,
+            orphaned_blocks: self.orphaned_blocks,
         }
     }
 
@@ -491,7 +526,9 @@ impl World {
         self.broadcast(built, now_ms, queue);
     }
 
-    /// Schedules per-stakeholder deliveries for a freshly issued tx.
+    /// Schedules per-stakeholder deliveries for a freshly issued tx,
+    /// applying link faults (loss, spikes, reorder jitter, duplicates)
+    /// when the scenario's fault plan enables them.
     fn broadcast(&mut self, built: BuiltTx, now_ms: SimMillis, queue: &mut EventQueue<Ev>) {
         // Issue from a random relay node (users are spread over the edge).
         let origin = self.rng_tx.next_below(self.relay_count as u64) as usize;
@@ -500,17 +537,61 @@ impl World {
         stakeholders.extend(self.network.miner_hubs().iter().map(|(n, _)| *n));
         stakeholders.sort_unstable();
         stakeholders.dedup();
-        self.delivery_state.insert(built.tx.txid(), (stakeholders.len(), true));
+        let link = self.scenario.faults.link;
+        let mut expected = 0usize;
+        let mut lost = 0usize;
         for node in stakeholders {
             let delay_ms = (arrivals[node] * 1_000.0).round() as SimMillis;
-            queue.schedule(
-                now_ms + delay_ms.max(1),
-                Ev::Deliver { node, tx: Arc::clone(&built.tx), fee: built.fee },
-            );
+            let at = now_ms + delay_ms.max(1);
+            if link.enabled() {
+                let Some(extra) = link.sample_delivery(&mut self.rng_fault) else {
+                    lost += 1; // this node never hears of the tx
+                    continue;
+                };
+                let at = at + extra;
+                expected += 1;
+                queue.schedule(
+                    at,
+                    Ev::Deliver { node, tx: Arc::clone(&built.tx), fee: built.fee, counted: true },
+                );
+                if let Some(trail) = link.sample_duplicate(&mut self.rng_fault) {
+                    queue.schedule(
+                        at + trail,
+                        Ev::Deliver {
+                            node,
+                            tx: Arc::clone(&built.tx),
+                            fee: built.fee,
+                            counted: false,
+                        },
+                    );
+                }
+            } else {
+                expected += 1;
+                queue.schedule(
+                    at,
+                    Ev::Deliver { node, tx: Arc::clone(&built.tx), fee: built.fee, counted: true },
+                );
+            }
+        }
+        // A tx whose every delivery was lost has no pending deliveries to
+        // track; inserting an entry would leak it forever. A partially
+        // lost tx starts with `all_ok = false`: some stakeholder will
+        // never hold it, so its outputs must stay locked — a CPFP child
+        // spending them could reach a miner that cannot package the
+        // parent, and the resulting block would be consensus-invalid.
+        if expected > 0 {
+            self.delivery_state.insert(built.tx.txid(), (expected, lost == 0));
         }
     }
 
-    fn deliver(&mut self, node: NodeId, tx: Arc<Transaction>, fee: Amount, now_ms: SimMillis) {
+    fn deliver(
+        &mut self,
+        node: NodeId,
+        tx: Arc<Transaction>,
+        fee: Amount,
+        now_ms: SimMillis,
+        counted: bool,
+    ) {
         let txid = tx.txid();
         let now_secs = now_ms / 1_000;
         // A transaction can be confirmed while still in flight to slower
@@ -524,6 +605,12 @@ impl World {
                 None => false,
             }
         };
+        // Duplicate deliveries hit the Mempool (above) but are invisible
+        // to the bookkeeping; the entry may also be gone already — e.g.
+        // reclaimed at confirmation while this delivery was in flight.
+        if !counted {
+            return;
+        }
         if let Some((remaining, all_ok)) = self.delivery_state.get_mut(&txid) {
             *all_ok &= accepted;
             *remaining -= 1;
@@ -540,6 +627,16 @@ impl World {
     fn mine_block(&mut self, now_ms: SimMillis) {
         let now_secs = now_ms / 1_000;
         let idx = self.pool_picker.sample(&mut self.rng_mine);
+        // Stale-tip race (fault injection): the pool found a block but a
+        // same-height competitor propagated first; the find is discarded
+        // before connecting — mempools, chain, and the miner record are
+        // untouched, exactly as a losing branch looks from the winner's
+        // chain.
+        let stale_prob = self.scenario.faults.stale_tip_prob;
+        if stale_prob > 0.0 && self.rng_fault.next_bool(stale_prob) {
+            self.orphaned_blocks += 1;
+            return;
+        }
         let hub = self.hub_of_pool[idx];
         let height = self.chain.height();
         let prev = self.chain.tip_hash();
@@ -590,6 +687,17 @@ impl World {
         self.workload.on_block_confirmed(&block);
         self.network.apply_block(&block);
         self.block_miners.push(idx);
+        // Reclaim delivery bookkeeping for just-confirmed transactions.
+        // Any still-in-flight delivery of these finds the tx on chain and
+        // counts as accepted, and `mark_broadcast_ok` after confirmation
+        // is a no-op — so dropping the entries changes nothing observable
+        // while keeping the map from accumulating stragglers (txs whose
+        // slowest deliveries would otherwise pin their entries, and, under
+        // fault injection, txs that confirm despite lost deliveries and
+        // would leak their entries permanently).
+        for tx in block.body() {
+            self.delivery_state.remove(&tx.txid());
+        }
     }
 }
 

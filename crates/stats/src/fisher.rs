@@ -94,7 +94,7 @@ mod tests {
     #[test]
     fn zero_p_is_clamped_not_nan() {
         let combined = fisher_combine(&[0.0, 0.5]);
-        assert!(combined >= 0.0 && combined < 1e-300);
+        assert!((0.0..1e-300).contains(&combined));
         assert!(!combined.is_nan());
     }
 

@@ -8,7 +8,8 @@
 /// W. J. Cody (1969), absolute error below 1e-15 across the real line.
 pub fn erfc(x: f64) -> f64 {
     let ax = x.abs();
-    let result = if ax < 0.5 {
+    
+    if ax < 0.5 {
         1.0 - erf_series(x)
     } else {
         // erfc(ax) = exp(-ax^2) * R(ax)
@@ -18,8 +19,7 @@ pub fn erfc(x: f64) -> f64 {
             return 2.0 - v;
         }
         v
-    };
-    result
+    }
 }
 
 /// Error function.
@@ -35,13 +35,13 @@ pub fn erf(x: f64) -> f64 {
 fn erf_series(x: f64) -> f64 {
     const A: [f64; 5] = [
         3.209_377_589_138_469_4e3,
-        3.774_852_376_853_020_2e2,
+        3.774_852_376_853_02e2,
         1.138_641_541_510_501_6e2,
         3.161_123_743_870_565_6,
         1.857_777_061_846_031_5e-1,
     ];
     const B: [f64; 4] = [
-        2.844_236_833_439_170_6e3,
+        2.844_236_833_439_171e3,
         1.282_616_526_077_372_3e3,
         2.440_246_379_344_441_6e2,
         2.360_129_095_234_412_2e1,
@@ -59,10 +59,10 @@ fn erfc_mid(x: f64) -> f64 {
         2.051_078_377_826_071_6e3,
         1.712_047_612_634_070_7e3,
         8.819_522_212_417_69e2,
-        2.986_351_381_974_001_3e2,
-        6.611_919_063_714_162_7e1,
-        8.883_149_794_388_375_7,
-        5.641_884_969_886_700_9e-1,
+        2.986_351_381_974_001e2,
+        6.611_919_063_714_163e1,
+        8.883_149_794_388_375,
+        5.641_884_969_886_701e-1,
         2.153_115_354_744_038_3e-8,
     ];
     const Q: [f64; 8] = [
@@ -71,7 +71,7 @@ fn erfc_mid(x: f64) -> f64 {
         4.362_619_090_143_247e3,
         3.290_799_235_733_459_7e3,
         1.621_389_574_566_690_3e3,
-        5.371_811_018_620_098_6e2,
+        5.371_811_018_620_099e2,
         1.176_939_508_913_124_6e2,
         1.574_492_611_070_983_3e1,
     ];
@@ -91,8 +91,8 @@ fn erfc_mid(x: f64) -> f64 {
 // exp(x^2)*erfc(x) on x >= 4.
 fn erfc_far(x: f64) -> f64 {
     const P: [f64; 6] = [
-        -6.587_491_615_298_378_4e-4,
-        -1.608_378_514_874_227_7e-2,
+        -6.587_491_615_298_378e-4,
+        -1.608_378_514_874_228e-2,
         -1.257_816_929_786_021_5e-1,
         -3.603_448_999_498_044_4e-1,
         -3.053_266_349_612_323e-1,
@@ -100,8 +100,8 @@ fn erfc_far(x: f64) -> f64 {
     ];
     const Q: [f64; 5] = [
         2.335_204_976_268_691_8e-3,
-        6.051_834_131_244_131_8e-2,
-        5.279_051_029_514_284_2e-1,
+        6.051_834_131_244_132e-2,
+        5.279_051_029_514_285e-1,
         1.872_952_849_923_460_4,
         2.568_520_192_289_822,
     ];

@@ -89,7 +89,7 @@ fn honest_pools_not_flagged_in_cheating_world() {
 fn attribution_matches_simulator_ground_truth() {
     let out = world(false, 13);
     let index = ChainIndex::build(&out.chain);
-    assert_eq!(index.len() as usize, out.block_miners.len());
+    assert_eq!(index.len(), out.block_miners.len());
     for (height, &miner_idx) in out.block_miners.iter().enumerate() {
         let attributed = index
             .block(height as u64)

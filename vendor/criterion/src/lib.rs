@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal timing harness covering the API the workspace benches use:
+//! `Criterion::benchmark_group`, `sample_size`, `measurement_time`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros. Each
+//! benchmark runs a handful of timed iterations and prints the mean —
+//! good enough to compare orders of magnitude, with no statistics,
+//! reports, or HTML output.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, samples: 10 }
+    }
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Cap the sample count: these benches also execute under
+        // `cargo test`, where they must stay fast.
+        self.samples = n.clamp(1, 10);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's run length is
+    /// governed by `sample_size` alone.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: self.samples, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher);
+        bencher.report(&id.0);
+        self
+    }
+
+    /// Times `f` under `id`, passing it `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: self.samples, elapsed: Duration::ZERO, iters: 0 };
+        f(&mut bencher, input);
+        bencher.report(&id.0);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Identifies one benchmark, optionally parameterised by an input label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId(name.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId(name)
+    }
+}
+
+/// Runs and times the benchmarked closure.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `samples` calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("  {id}: no iterations recorded");
+        } else {
+            let mean = self.elapsed / self.iters as u32;
+            println!("  {id}: mean {mean:?} over {} iters", self.iters);
+        }
+    }
+}
+
+/// Declares a runner function invoking each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        // one warm-up call plus three timed samples
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("algo", 42);
+        assert_eq!(id.0, "algo/42");
+    }
+}

@@ -1,0 +1,93 @@
+//! `any::<T>()` and the `Arbitrary` trait for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T`, returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The canonical strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Keep generated floats finite; NaN/inf would make every numeric
+        // property vacuously about IEEE edge cases rather than the code.
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_finite() {
+            v
+        } else {
+            rng.unit_f64()
+        }
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for chunk in out.chunks_mut(8) {
+            let word = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_fill_all_bytes() {
+        let mut rng = TestRng::for_test("arrays");
+        let a: [u8; 32] = Arbitrary::arbitrary(&mut rng);
+        let b: [u8; 32] = Arbitrary::arbitrary(&mut rng);
+        assert_ne!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn f64_always_finite() {
+        let mut rng = TestRng::for_test("floats");
+        for _ in 0..1000 {
+            assert!(f64::arbitrary(&mut rng).is_finite());
+        }
+    }
+}

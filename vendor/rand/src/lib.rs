@@ -1,0 +1,51 @@
+//! Offline stand-in for `rand`: just the `TryRng`/`Rng` trait pair that
+//! `cn_stats::SimRng` implements, with the infallible blanket impl.
+
+use std::convert::Infallible;
+
+/// A fallible random-number source.
+pub trait TryRng {
+    /// The error produced when the source fails.
+    type Error;
+
+    /// Next 32 random bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Next 64 random bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dest` with random bytes.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random-number source.
+pub trait Rng {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: TryRng<Error = Infallible>> Rng for R {
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => (),
+        }
+    }
+}
