@@ -45,7 +45,12 @@ fn bench_mempool(c: &mut Criterion) {
         });
         let pool = filled_pool(&txs);
         group.bench_with_input(BenchmarkId::new("snapshot", n), &pool, |b, pool| {
-            b.iter(|| black_box(pool.snapshot(0)))
+            let mut pool = pool.clone();
+            let mut t = 0u64;
+            b.iter(|| {
+                t += 1;
+                black_box(pool.snapshot(t))
+            })
         });
         // Ablation: reading the maintained fee-rate index vs sorting all
         // entries on demand (what a naive implementation would do per

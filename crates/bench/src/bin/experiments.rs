@@ -1,16 +1,39 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] all
+//! experiments [--quick] [--serial] all
 //! experiments [--quick] table2 fig7 ...
 //! experiments --list
 //! ```
 //!
+//! Experiments run on a worker pool (one thread per available core, capped
+//! at the number of ids); output is buffered per experiment and printed in
+//! presentation order, so parallel runs are byte-identical to `--serial`
+//! runs modulo the wall-clock figures in `[... took ...]` lines. Each run
+//! also writes `BENCH_pipeline.json` with per-dataset simulation times,
+//! per-experiment times, and total wall time — the perf trajectory every
+//! future change is measured against.
+//!
 //! Output is printed and mirrored to `results/<id>.txt`.
 
-use cn_bench::{run_experiment, Lab, ALL_IDS};
+use cn_bench::{run_experiment, Lab, ALL_IDS, DATASET_NAMES};
+use std::fmt::Write as _;
 use std::io::Write as _;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serial wall time of `experiments --quick all` on the reference machine,
+/// measured at the commit *before* this harness/hot-path overhaul. Kept
+/// here so `BENCH_pipeline.json` always records the trajectory's origin.
+const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 49.029;
+
+/// One experiment's outcome, produced by a worker thread.
+struct Slot {
+    /// `None` for an unknown id.
+    report: Option<String>,
+    elapsed: Duration,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,35 +44,144 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
-    let mut ids: Vec<String> =
-        args.into_iter().filter(|a| !a.starts_with("--")).collect();
-    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+    let serial = args.iter().any(|a| a == "--serial");
+    let mut ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+    let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
+    if run_all {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
     let lab = if quick { Lab::quick() } else { Lab::full() };
     let _ = std::fs::create_dir_all("results");
+
+    let wall_started = Instant::now();
+    // Warm all three datasets concurrently when the whole suite runs (it
+    // touches all of them anyway); targeted invocations stay lazy so e.g.
+    // `experiments fig1` never pays for dataset 𝒞.
+    if run_all && !serial {
+        lab.prewarm();
+    }
+
+    let workers = if serial {
+        1
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(ids.len()).max(1)
+    };
+
+    // Worker pool with order-preserving output: workers claim ids from a
+    // shared counter and park finished reports in `slots`; the main thread
+    // prints slot i only after slots 0..i, so stdout matches a serial run.
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
+    let ready = Condvar::new();
+
     let mut failed = false;
-    for id in &ids {
-        let started = Instant::now();
-        match run_experiment(id, &lab) {
-            Some(report) => {
-                println!("==================== {id} ====================");
-                println!("{report}");
-                println!("[{id} took {:.1?}]", started.elapsed());
-                match std::fs::File::create(format!("results/{id}.txt")) {
-                    Ok(mut f) => {
-                        let _ = f.write_all(report.as_bytes());
+    let mut experiment_secs: Vec<(String, f64)> = Vec::with_capacity(ids.len());
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ids.len() {
+                    break;
+                }
+                let started = Instant::now();
+                let report = run_experiment(&ids[i], &lab);
+                let slot = Slot { report, elapsed: started.elapsed() };
+                let mut guard = slots.lock().expect("slot mutex");
+                guard[i] = Some(slot);
+                ready.notify_all();
+            });
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let slot = {
+                let mut guard = slots.lock().expect("slot mutex");
+                loop {
+                    if let Some(slot) = guard[i].take() {
+                        break slot;
                     }
-                    Err(e) => eprintln!("warning: could not write results/{id}.txt: {e}"),
+                    guard = ready.wait(guard).expect("slot mutex");
+                }
+            };
+            match slot.report {
+                Some(report) => {
+                    println!("==================== {id} ====================");
+                    println!("{report}");
+                    println!("[{id} took {:.1?}]", slot.elapsed);
+                    experiment_secs.push((id.clone(), slot.elapsed.as_secs_f64()));
+                    match std::fs::File::create(format!("results/{id}.txt")) {
+                        Ok(mut f) => {
+                            let _ = f.write_all(report.as_bytes());
+                        }
+                        Err(e) => eprintln!("warning: could not write results/{id}.txt: {e}"),
+                    }
+                }
+                None => {
+                    eprintln!("unknown experiment id: {id} (use --list)");
+                    failed = true;
                 }
             }
-            None => {
-                eprintln!("unknown experiment id: {id} (use --list)");
-                failed = true;
-            }
         }
+    });
+
+    let total_wall = wall_started.elapsed().as_secs_f64();
+    if let Err(e) = write_bench_json(&lab, quick, serial, workers, &experiment_secs, total_wall) {
+        eprintln!("warning: could not write BENCH_pipeline.json: {e}");
     }
     if failed {
         std::process::exit(2);
     }
+}
+
+/// Emits `BENCH_pipeline.json` by hand (no JSON dependency in-tree).
+fn write_bench_json(
+    lab: &Lab,
+    quick: bool,
+    serial: bool,
+    workers: usize,
+    experiment_secs: &[(String, f64)],
+    total_wall: f64,
+) -> std::io::Result<()> {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "full" });
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if serial { "serial" } else { "parallel" });
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    json.push_str("  \"dataset_sim_seconds\": {\n");
+    let sim = lab.sim_seconds();
+    for (i, name) in DATASET_NAMES.iter().enumerate() {
+        let comma = if i + 1 < DATASET_NAMES.len() { "," } else { "" };
+        match sim[i] {
+            Some(secs) => {
+                let _ = writeln!(json, "    \"{name}\": {secs:.3}{comma}");
+            }
+            None => {
+                let _ = writeln!(json, "    \"{name}\": null{comma}");
+            }
+        }
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"experiment_seconds\": {\n");
+    for (i, (id, secs)) in experiment_secs.iter().enumerate() {
+        let comma = if i + 1 < experiment_secs.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{id}\": {secs:.3}{comma}");
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.3},");
+    let _ = writeln!(
+        json,
+        "  \"serial_baseline_quick_all_seconds\": {SERIAL_BASELINE_QUICK_ALL_SECS:.3},"
+    );
+    // The speedup figure only means something for the configuration the
+    // baseline was measured on: the full quick-scale suite.
+    let full_quick_suite = quick && experiment_secs.len() == ALL_IDS.len();
+    if full_quick_suite && total_wall > 0.0 {
+        let _ = writeln!(
+            json,
+            "  \"speedup_vs_serial_baseline\": {:.2}",
+            SERIAL_BASELINE_QUICK_ALL_SECS / total_wall
+        );
+    } else {
+        json.push_str("  \"speedup_vs_serial_baseline\": null\n");
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_pipeline.json", json)
 }

@@ -298,7 +298,7 @@ pub fn fig14(lab: &Lab) -> String {
         .max()
         .unwrap_or(cn_chain::FeeRate::MIN_RELAY);
     let mut multiples = Vec::new();
-    for entry in &snapshot.entries {
+    for entry in snapshot.entries.iter() {
         let quote = service.quote(entry.vsize, entry.fee, top_rate);
         if let Some(mult) = fee_multiple(entry.fee, quote) {
             multiples.push(mult);

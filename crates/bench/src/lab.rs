@@ -5,19 +5,37 @@ use cn_core::ChainIndex;
 use cn_data::{dataset_a, dataset_b, dataset_c, Scale};
 use cn_sim::{SimOutput, World};
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// How many datasets the lab manages (𝒜, ℬ, 𝒞).
+pub const DATASET_COUNT: usize = 3;
+
+/// Display names for the lab's datasets, in cell order.
+pub const DATASET_NAMES: [&str; DATASET_COUNT] = ["A", "B", "C"];
 
 /// Lazily simulated datasets plus derived indexes.
+///
+/// Each dataset lives in one `OnceLock` cell, so it is simulated at most
+/// once per process no matter how many experiments (or threads) ask for
+/// it. A `World` owns all of its RNG streams, which makes every cell's
+/// init closure self-contained — [`Lab::prewarm`] exploits that to warm
+/// all three cells on parallel scoped threads with bit-identical results.
 pub struct Lab {
     scale: Scale,
-    a: OnceLock<(SimOutput, ChainIndex)>,
-    b: OnceLock<(SimOutput, ChainIndex)>,
-    c: OnceLock<(SimOutput, ChainIndex)>,
+    cells: [OnceLock<(SimOutput, ChainIndex)>; DATASET_COUNT],
+    /// Wall-clock seconds each cell's init took (simulate + index);
+    /// `None` until that dataset has been materialized.
+    sim_seconds: [OnceLock<f64>; DATASET_COUNT],
 }
 
 impl Lab {
     /// A lab at the given scale.
     pub fn new(scale: Scale) -> Lab {
-        Lab { scale, a: OnceLock::new(), b: OnceLock::new(), c: OnceLock::new() }
+        Lab {
+            scale,
+            cells: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            sim_seconds: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+        }
     }
 
     /// Hours-scale lab for tests.
@@ -35,30 +53,77 @@ impl Lab {
         self.scale
     }
 
-    /// Dataset 𝒜's output and index (simulated on first use).
-    pub fn a(&self) -> &(SimOutput, ChainIndex) {
-        self.a.get_or_init(|| {
-            let out = World::new(dataset_a(self.scale)).run();
+    /// The dataset in cell `which` (0 = 𝒜, 1 = ℬ, 2 = 𝒞), simulated on
+    /// first use.
+    fn dataset(&self, which: usize) -> &(SimOutput, ChainIndex) {
+        self.cells[which].get_or_init(|| {
+            let started = Instant::now();
+            let scenario = match which {
+                0 => dataset_a(self.scale),
+                1 => dataset_b(self.scale),
+                _ => dataset_c(self.scale),
+            };
+            let out = World::new(scenario).run();
             let index = ChainIndex::build(&out.chain);
+            let _ = self.sim_seconds[which].set(started.elapsed().as_secs_f64());
             (out, index)
         })
+    }
+
+    /// Dataset 𝒜's output and index (simulated on first use).
+    pub fn a(&self) -> &(SimOutput, ChainIndex) {
+        self.dataset(0)
     }
 
     /// Dataset ℬ's output and index.
     pub fn b(&self) -> &(SimOutput, ChainIndex) {
-        self.b.get_or_init(|| {
-            let out = World::new(dataset_b(self.scale)).run();
-            let index = ChainIndex::build(&out.chain);
-            (out, index)
-        })
+        self.dataset(1)
     }
 
     /// Dataset 𝒞's output and index.
     pub fn c(&self) -> &(SimOutput, ChainIndex) {
-        self.c.get_or_init(|| {
-            let out = World::new(dataset_c(self.scale)).run();
-            let index = ChainIndex::build(&out.chain);
-            (out, index)
-        })
+        self.dataset(2)
+    }
+
+    /// Materializes all three datasets on parallel scoped threads.
+    ///
+    /// Each `World` is seeded from its scenario and owns its RNG streams,
+    /// so warming concurrently produces bit-identical outputs to the lazy
+    /// serial path; `OnceLock` guarantees each cell still initializes
+    /// exactly once even if experiments race with the warmers.
+    pub fn prewarm(&self) {
+        std::thread::scope(|s| {
+            for which in 0..DATASET_COUNT {
+                s.spawn(move || {
+                    self.dataset(which);
+                });
+            }
+        });
+    }
+
+    /// Wall-clock seconds spent simulating + indexing each dataset, in
+    /// [`DATASET_NAMES`] order; `None` for datasets never requested.
+    pub fn sim_seconds(&self) -> [Option<f64>; DATASET_COUNT] {
+        [
+            self.sim_seconds[0].get().copied(),
+            self.sim_seconds[1].get().copied(),
+            self.sim_seconds[2].get().copied(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_seconds_track_materialization() {
+        let lab = Lab::quick();
+        assert_eq!(lab.sim_seconds(), [None, None, None]);
+        lab.a();
+        let secs = lab.sim_seconds();
+        assert!(secs[0].is_some());
+        assert_eq!(secs[1], None);
+        assert_eq!(secs[2], None);
     }
 }

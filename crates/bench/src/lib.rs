@@ -21,7 +21,7 @@ pub mod exp_revenue;
 pub mod exp_robustness;
 pub mod lab;
 
-pub use lab::Lab;
+pub use lab::{Lab, DATASET_COUNT, DATASET_NAMES};
 
 /// Every experiment id, in presentation order.
 pub const ALL_IDS: &[&str] = &[

@@ -8,6 +8,7 @@ use crate::merkle::merkle_root;
 use crate::transaction::{Transaction, Txid};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
+use std::sync::Arc;
 
 /// A block identifier: the double-SHA-256 of the 80-byte header.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -86,28 +87,38 @@ impl Decodable for Header {
 }
 
 /// A block: a header plus transactions, the first being the coinbase.
+///
+/// Transactions are held behind [`Arc`]: a mined block shares the same
+/// transaction objects the mempools and the template hold, so block
+/// construction and relay never copy transaction bodies.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Block {
     /// The block header.
     pub header: Header,
     /// The transactions, coinbase first.
-    pub transactions: Vec<Transaction>,
+    pub transactions: Vec<Arc<Transaction>>,
 }
 
 impl Block {
     /// Assembles a block from a coinbase plus ordered non-coinbase
-    /// transactions, computing the merkle root.
-    pub fn assemble(
+    /// transactions, computing the merkle root. Accepts owned
+    /// transactions or shared `Arc` handles (the zero-copy miner path).
+    pub fn assemble<I>(
         version: i32,
         prev_hash: BlockHash,
         time: u64,
         nonce: u32,
         coinbase: Transaction,
-        transactions: Vec<Transaction>,
-    ) -> Block {
-        let mut all = Vec::with_capacity(1 + transactions.len());
-        all.push(coinbase);
-        all.extend(transactions);
+        transactions: I,
+    ) -> Block
+    where
+        I: IntoIterator,
+        I::Item: Into<Arc<Transaction>>,
+    {
+        let transactions = transactions.into_iter();
+        let mut all: Vec<Arc<Transaction>> = Vec::with_capacity(1 + transactions.size_hint().0);
+        all.push(Arc::new(coinbase));
+        all.extend(transactions.map(Into::into));
         let txids: Vec<Txid> = all.iter().map(|t| t.txid()).collect();
         let header = Header {
             version,
@@ -127,11 +138,11 @@ impl Block {
 
     /// The coinbase transaction, if the block is non-empty of transactions.
     pub fn coinbase(&self) -> Option<&Transaction> {
-        self.transactions.first().filter(|t| t.is_coinbase())
+        self.transactions.first().filter(|t| t.is_coinbase()).map(|t| t.as_ref())
     }
 
-    /// The non-coinbase transactions in block order.
-    pub fn body(&self) -> &[Transaction] {
+    /// The non-coinbase transactions in block order (shared handles).
+    pub fn body(&self) -> &[Arc<Transaction>] {
         if self.coinbase().is_some() {
             &self.transactions[1..]
         } else {
@@ -191,7 +202,7 @@ impl Decodable for Block {
         }
         let mut transactions = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            transactions.push(Transaction::decode(buf)?);
+            transactions.push(Arc::new(Transaction::decode(buf)?));
         }
         Ok(Block { header, transactions })
     }
@@ -228,7 +239,7 @@ mod tests {
 
     #[test]
     fn empty_block_detection() {
-        let b = Block::assemble(2, BlockHash::ZERO, 100, 7, coinbase(), vec![]);
+        let b = Block::assemble(2, BlockHash::ZERO, 100, 7, coinbase(), Vec::<Transaction>::new());
         assert!(b.is_empty_block());
         assert_eq!(b.body().len(), 0);
     }
@@ -263,8 +274,8 @@ mod tests {
 
     #[test]
     fn nonce_changes_hash() {
-        let b1 = Block::assemble(2, BlockHash::ZERO, 5, 1, coinbase(), vec![]);
-        let b2 = Block::assemble(2, BlockHash::ZERO, 5, 2, coinbase(), vec![]);
+        let b1 = Block::assemble(2, BlockHash::ZERO, 5, 1, coinbase(), Vec::<Transaction>::new());
+        let b2 = Block::assemble(2, BlockHash::ZERO, 5, 2, coinbase(), Vec::<Transaction>::new());
         assert_ne!(b1.block_hash(), b2.block_hash());
     }
 

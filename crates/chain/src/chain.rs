@@ -236,7 +236,7 @@ mod tests {
     fn wrong_parent_rejected() {
         let mut chain = Chain::new(Params::mainnet());
         extend(&mut chain, vec![]);
-        let orphan = Block::assemble(2, BlockHash::ZERO, 0, 99, coinbase(1), vec![]);
+        let orphan = Block::assemble(2, BlockHash::ZERO, 0, 99, coinbase(1), Vec::<Transaction>::new());
         assert!(matches!(chain.connect(orphan), Err(ChainError::WrongParent { .. })));
     }
 
@@ -285,7 +285,7 @@ mod tests {
                 .reward(Address::from_label("p"), chain.params().subsidy_at(h))
                 .extra_nonce(h)
                 .build();
-            let block = Block::assemble(2, chain.tip_hash(), h * 600, h as u32, cb, vec![]);
+            let block = Block::assemble(2, chain.tip_hash(), h * 600, h as u32, cb, Vec::<Transaction>::new());
             chain.connect(block).expect("valid");
         }
         let subsidies: Vec<u64> = chain.records().iter().map(|r| r.subsidy.to_sat()).collect();

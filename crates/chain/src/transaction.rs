@@ -106,6 +106,29 @@ impl TxIn {
         TxIn { prevout, script_sig: Vec::new(), sequence: 0xffff_ffff, witness: Vec::new() }
     }
 
+    /// Creates an input spending `txid:vout` with filler unlocking data of
+    /// the given sizes — the simulator's way of producing realistically
+    /// sized transactions without real signatures. The filler content is
+    /// derived from the prevout so distinct spends never collide.
+    ///
+    /// Building the (hash-heavy) filler once and reusing the `TxIn` is
+    /// much cheaper than calling
+    /// [`TransactionBuilder::add_input_with_sizes`] per draft.
+    pub fn with_filler(txid: Txid, vout: u32, script_sig_len: usize, witness_len: usize) -> TxIn {
+        let prevout = OutPoint::new(txid, vout);
+        let mut seed = Vec::with_capacity(36);
+        seed.extend_from_slice(txid.0.as_bytes());
+        seed.extend_from_slice(&vout.to_le_bytes());
+        let fill = sha256d(&seed);
+        let script_sig = filler_bytes(fill, 0x51, script_sig_len);
+        let witness = if witness_len > 0 {
+            vec![filler_bytes(fill, 0x52, witness_len)]
+        } else {
+            Vec::new()
+        };
+        TxIn { prevout, script_sig, sequence: 0xffff_ffff, witness }
+    }
+
     /// True when any witness item is present.
     pub fn has_witness(&self) -> bool {
         !self.witness.is_empty()
@@ -234,45 +257,69 @@ impl Transaction {
     }
 
     fn encode_base(&self, buf: &mut BytesMut) {
-        buf.put_i32_le(self.version);
-        write_compact_size(buf, self.inputs.len() as u64);
-        for input in &self.inputs {
-            input.prevout.encode(buf);
-            write_var_bytes(buf, &input.script_sig);
-            buf.put_u32_le(input.sequence);
-        }
-        write_compact_size(buf, self.outputs.len() as u64);
-        for output in &self.outputs {
-            output.encode(buf);
-        }
-        buf.put_u32_le(self.lock_time);
+        encode_base_parts(self.version, &self.inputs, &self.outputs, self.lock_time, buf);
     }
 
     fn encode_full(&self, buf: &mut BytesMut) {
-        if !self.has_witness() {
-            return self.encode_base(buf);
-        }
-        buf.put_i32_le(self.version);
-        buf.put_u8(0x00); // segwit marker
-        buf.put_u8(0x01); // segwit flag
-        write_compact_size(buf, self.inputs.len() as u64);
-        for input in &self.inputs {
-            input.prevout.encode(buf);
-            write_var_bytes(buf, &input.script_sig);
-            buf.put_u32_le(input.sequence);
-        }
-        write_compact_size(buf, self.outputs.len() as u64);
-        for output in &self.outputs {
-            output.encode(buf);
-        }
-        for input in &self.inputs {
-            write_compact_size(buf, input.witness.len() as u64);
-            for item in &input.witness {
-                write_var_bytes(buf, item);
-            }
-        }
-        buf.put_u32_le(self.lock_time);
+        encode_full_parts(self.version, &self.inputs, &self.outputs, self.lock_time, buf);
     }
+}
+
+/// Non-witness serialization of a transaction's parts — shared by the
+/// built [`Transaction`] and the builder's hash-free size preview so the
+/// two can never disagree about encoded length.
+fn encode_base_parts(
+    version: i32,
+    inputs: &[TxIn],
+    outputs: &[TxOut],
+    lock_time: u32,
+    buf: &mut BytesMut,
+) {
+    buf.put_i32_le(version);
+    write_compact_size(buf, inputs.len() as u64);
+    for input in inputs {
+        input.prevout.encode(buf);
+        write_var_bytes(buf, &input.script_sig);
+        buf.put_u32_le(input.sequence);
+    }
+    write_compact_size(buf, outputs.len() as u64);
+    for output in outputs {
+        output.encode(buf);
+    }
+    buf.put_u32_le(lock_time);
+}
+
+/// Full (witness-carrying) serialization of a transaction's parts.
+fn encode_full_parts(
+    version: i32,
+    inputs: &[TxIn],
+    outputs: &[TxOut],
+    lock_time: u32,
+    buf: &mut BytesMut,
+) {
+    if !inputs.iter().any(|i| i.has_witness()) {
+        return encode_base_parts(version, inputs, outputs, lock_time, buf);
+    }
+    buf.put_i32_le(version);
+    buf.put_u8(0x00); // segwit marker
+    buf.put_u8(0x01); // segwit flag
+    write_compact_size(buf, inputs.len() as u64);
+    for input in inputs {
+        input.prevout.encode(buf);
+        write_var_bytes(buf, &input.script_sig);
+        buf.put_u32_le(input.sequence);
+    }
+    write_compact_size(buf, outputs.len() as u64);
+    for output in outputs {
+        output.encode(buf);
+    }
+    for input in inputs {
+        write_compact_size(buf, input.witness.len() as u64);
+        for item in &input.witness {
+            write_var_bytes(buf, item);
+        }
+    }
+    buf.put_u32_le(lock_time);
 }
 
 impl fmt::Debug for Transaction {
@@ -396,18 +443,7 @@ impl TransactionBuilder {
         script_sig_len: usize,
         witness_len: usize,
     ) -> Self {
-        let prevout = OutPoint::new(txid, vout);
-        let mut seed = Vec::with_capacity(36);
-        seed.extend_from_slice(txid.0.as_bytes());
-        seed.extend_from_slice(&vout.to_le_bytes());
-        let fill = sha256d(&seed);
-        let script_sig = filler_bytes(fill, 0x51, script_sig_len);
-        let witness = if witness_len > 0 {
-            vec![filler_bytes(fill, 0x52, witness_len)]
-        } else {
-            Vec::new()
-        };
-        self.inputs.push(TxIn { prevout, script_sig, sequence: 0xffff_ffff, witness });
+        self.inputs.push(TxIn::with_filler(txid, vout, script_sig_len, witness_len));
         self
     }
 
@@ -420,6 +456,23 @@ impl TransactionBuilder {
     /// Adds an output paying `value` to `address`.
     pub fn pay_to(self, address: Address, value: Amount) -> Self {
         self.add_output(TxOut::to_address(value, address))
+    }
+
+    /// BIP-141 weight of the transaction this builder would produce,
+    /// computed from the same serialization [`TransactionBuilder::build`]
+    /// hashes — but without computing txid/wtxid. Lets fee-sizing drafts
+    /// skip the double-SHA256 passes entirely.
+    pub fn weight(&self) -> u64 {
+        let mut base = BytesMut::new();
+        encode_base_parts(self.version, &self.inputs, &self.outputs, self.lock_time, &mut base);
+        let mut full = BytesMut::new();
+        encode_full_parts(self.version, &self.inputs, &self.outputs, self.lock_time, &mut full);
+        3 * base.len() as u64 + full.len() as u64
+    }
+
+    /// Virtual size the built transaction will have: `ceil(weight / 4)`.
+    pub fn vsize(&self) -> u64 {
+        self.weight().div_ceil(4)
     }
 
     /// Finalizes the transaction, computing txid, wtxid, and weight.
@@ -471,6 +524,34 @@ mod tests {
             .pay_to(Address::p2pkh([2; 20]), Amount::from_sat(50_000))
             .pay_to(Address::p2pkh([3; 20]), Amount::from_sat(25_000))
             .build()
+    }
+
+    #[test]
+    fn builder_size_preview_matches_built() {
+        for witness_len in [0usize, 1, 107, 2_800] {
+            let builder = Transaction::builder()
+                .add_input_with_sizes([1u8; 32].into(), 0, 107, witness_len)
+                .pay_to(Address::p2pkh([2; 20]), Amount::from_sat(50_000))
+                .pay_to(Address::p2pkh([3; 20]), Amount::from_sat(25_000));
+            let (weight, vsize) = (builder.weight(), builder.vsize());
+            let built = builder.build();
+            assert_eq!(weight, built.weight(), "witness_len={witness_len}");
+            assert_eq!(vsize, built.vsize(), "witness_len={witness_len}");
+        }
+    }
+
+    #[test]
+    fn filler_input_matches_add_input_with_sizes() {
+        let via_builder = Transaction::builder()
+            .add_input_with_sizes([7u8; 32].into(), 3, 60, 400)
+            .pay_to(Address::p2pkh([2; 20]), Amount::from_sat(1_000))
+            .build();
+        let via_txin = Transaction::builder()
+            .add_input(TxIn::with_filler([7u8; 32].into(), 3, 60, 400))
+            .pay_to(Address::p2pkh([2; 20]), Amount::from_sat(1_000))
+            .build();
+        assert_eq!(via_builder, via_txin);
+        assert_eq!(via_builder.txid(), via_txin.txid());
     }
 
     #[test]

@@ -193,9 +193,9 @@ mod tests {
         let (mut set, fund) = funded_set();
         let tx = spend(&fund, 990_000);
         let mut block =
-            Block::assemble(2, BlockHash::ZERO, 0, 0, coinbase(0, Amount::from_btc(50)), vec![]);
+            Block::assemble(2, BlockHash::ZERO, 0, 0, coinbase(0, Amount::from_btc(50)), Vec::<Transaction>::new());
         // Smuggle in a transaction without recomputing the root.
-        block.transactions.push(tx);
+        block.transactions.push(tx.into());
         assert_eq!(
             connect_block(&block, &mut set, 0, &params()),
             Err(ValidationError::BadMerkleRoot)

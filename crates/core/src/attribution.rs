@@ -113,7 +113,7 @@ mod tests {
                 (h as u64) * 600,
                 h as u32,
                 cb.build(),
-                vec![],
+                Vec::<cn_chain::Transaction>::new(),
             );
             chain.connect(block).expect("valid");
         }

@@ -44,7 +44,7 @@ pub fn fee_rates_by_congestion(
     let mut assigned: HashMap<Txid, (usize, f64)> = HashMap::new();
     for snap in snapshots {
         let bin = snap.congestion_bin(block_capacity);
-        for entry in &snap.entries {
+        for entry in snap.entries.iter() {
             // The first snapshot containing the tx defines its bin.
             if first.get(&entry.txid).copied() == Some(entry.received) {
                 assigned

@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn empty_block_fraction_zero() {
-        let block = Block::assemble(2, BlockHash::ZERO, 0, 0, coinbase(), vec![]);
+        let block = Block::assemble(2, BlockHash::ZERO, 0, 0, coinbase(), Vec::<Transaction>::new());
         assert_eq!(cpfp_fraction(&block), 0.0);
     }
 }

@@ -31,7 +31,7 @@ pub fn first_seen_times_checked(
 pub fn first_seen_times(snapshots: &[MempoolSnapshot]) -> HashMap<Txid, Timestamp> {
     let mut map: HashMap<Txid, Timestamp> = HashMap::new();
     for snap in snapshots {
-        for entry in &snap.entries {
+        for entry in snap.entries.iter() {
             map.entry(entry.txid)
                 .and_modify(|t| *t = (*t).min(entry.received))
                 .or_insert(entry.received);

@@ -193,7 +193,7 @@ mod tests {
             .marker(cn_chain::PoolMarker::new("/PoolA/"))
             .reward(Address::from_label("pool:A:0"), Amount::from_btc(50))
             .build();
-        let b0 = Block::assemble(2, BlockHash::ZERO, 600, 0, cb0, vec![]);
+        let b0 = Block::assemble(2, BlockHash::ZERO, 600, 0, cb0, Vec::<Transaction>::new());
         chain.connect(b0).expect("valid");
 
         let parent = Transaction::builder()

@@ -119,7 +119,7 @@ mod tests {
             .reward(pool_wallet, Amount::from_btc(50))
             .build();
         let cb0_txid = cb0.txid();
-        let b0 = Block::assemble(2, BlockHash::ZERO, 0, 0, cb0, vec![]);
+        let b0 = Block::assemble(2, BlockHash::ZERO, 0, 0, cb0, Vec::<Transaction>::new());
         chain.connect(b0).expect("valid");
 
         // Block 1 (mined by Q): a user pays P's wallet (to-pool tx) and P

@@ -14,6 +14,13 @@ pub struct MempoolEntry {
     fee: Amount,
     received: Timestamp,
     sequence: u64,
+    /// Cached ancestor-package totals (self + all in-pool ancestors),
+    /// maintained incrementally by the pool on every topology change.
+    pub(crate) anc_fee: u64,
+    pub(crate) anc_vsize: u64,
+    /// Cached descendant-package totals (self + all in-pool descendants).
+    pub(crate) desc_fee: u64,
+    pub(crate) desc_vsize: u64,
 }
 
 impl MempoolEntry {
@@ -26,7 +33,17 @@ impl MempoolEntry {
         received: Timestamp,
         sequence: u64,
     ) -> Self {
-        MempoolEntry { tx, fee, received, sequence }
+        let vsize = tx.vsize();
+        MempoolEntry {
+            tx,
+            fee,
+            received,
+            sequence,
+            anc_fee: fee.to_sat(),
+            anc_vsize: vsize,
+            desc_fee: fee.to_sat(),
+            desc_vsize: vsize,
+        }
     }
 
     /// The transaction.
@@ -69,6 +86,18 @@ impl MempoolEntry {
     /// break fee-rate ties deterministically).
     pub fn sequence(&self) -> u64 {
         self.sequence
+    }
+
+    /// Cached ancestor-package totals: `(fee, vsize)` of this transaction
+    /// plus every in-pool ancestor. Maintained by the pool; O(1).
+    pub fn ancestor_score(&self) -> (Amount, u64) {
+        (Amount::from_sat(self.anc_fee), self.anc_vsize)
+    }
+
+    /// Cached descendant-package totals: `(fee, vsize)` of this transaction
+    /// plus every in-pool descendant. Maintained by the pool; O(1).
+    pub fn descendant_score(&self) -> (Amount, u64) {
+        (Amount::from_sat(self.desc_fee), self.desc_vsize)
     }
 }
 

@@ -13,10 +13,15 @@ use cn_chain::{Block, FeeRate, UtxoSet};
 use std::collections::VecDeque;
 
 /// Rolling fee estimator over recent blocks.
+///
+/// The pooled, sorted sample is rebuilt once per recorded block rather
+/// than on every [`FeeEstimator::suggest`] call: users consult the
+/// estimator per transaction, blocks arrive ~600× less often.
 #[derive(Clone, Debug)]
 pub struct FeeEstimator {
     window: usize,
     recent: VecDeque<Vec<FeeRate>>,
+    pooled_sorted: Vec<FeeRate>,
 }
 
 impl FeeEstimator {
@@ -26,7 +31,11 @@ impl FeeEstimator {
     /// Panics when `window` is zero.
     pub fn new(window: usize) -> FeeEstimator {
         assert!(window > 0, "window must be positive");
-        FeeEstimator { window, recent: VecDeque::with_capacity(window) }
+        FeeEstimator {
+            window,
+            recent: VecDeque::with_capacity(window),
+            pooled_sorted: Vec::new(),
+        }
     }
 
     /// Records the fee rates observed in a newly mined block's body.
@@ -35,6 +44,9 @@ impl FeeEstimator {
             self.recent.pop_front();
         }
         self.recent.push_back(rates);
+        self.pooled_sorted.clear();
+        self.pooled_sorted.extend(self.recent.iter().flatten().copied());
+        self.pooled_sorted.sort_unstable();
     }
 
     /// Convenience: extracts body fee rates from a block given the UTXO
@@ -60,11 +72,10 @@ impl FeeEstimator {
     /// Returns the relay floor when no history exists yet.
     pub fn suggest(&self, q: f64) -> FeeRate {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
-        let mut pooled: Vec<FeeRate> = self.recent.iter().flatten().copied().collect();
+        let pooled = &self.pooled_sorted;
         if pooled.is_empty() {
             return FeeRate::MIN_RELAY;
         }
-        pooled.sort_unstable();
         let rank = ((q * pooled.len() as f64).ceil() as usize).clamp(1, pooled.len());
         pooled[rank - 1]
     }

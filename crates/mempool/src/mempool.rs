@@ -6,7 +6,7 @@ use crate::snapshot::{MempoolSnapshot, SnapshotEntry};
 use cn_chain::{Amount, Block, FeeRate, OutPoint, Timestamp, Transaction, Txid};
 use std::cmp::Reverse;
 use std::sync::Arc;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 
 /// Why a transaction was refused admission.
@@ -81,6 +81,21 @@ pub struct Mempool {
     spent: HashMap<OutPoint, Txid>,
     /// Parent txid -> children resident in the pool.
     children: HashMap<Txid, BTreeSet<Txid>>,
+    /// Descendant-package fee rate index — the `-maxmempool` eviction order.
+    /// Maintained only once [`Mempool::activate_index`] has run.
+    by_desc_rate: BTreeSet<(FeeRate, Txid)>,
+    /// Live txid-sorted snapshot rows, so a detailed snapshot is one
+    /// sort-free copy instead of a per-entry rebuild with ancestry walks.
+    /// Maintained only once [`Mempool::activate_index`] has run.
+    rows: BTreeMap<Txid, SnapshotEntry>,
+    /// Last detailed-row dump, shared until the pool next changes.
+    snapshot_cache: Option<Arc<Vec<SnapshotEntry>>>,
+    /// Whether `by_desc_rate` and `rows` are live. Both exist only for
+    /// [`Mempool::limit_size`] and [`Mempool::snapshot`]; most pool views
+    /// (miner hubs, relays) never call either, so the upkeep is deferred
+    /// until the first call that needs it. Derived state only — activating
+    /// late yields exactly the indexes incremental upkeep would have.
+    index_active: bool,
     total_vsize: u64,
     next_sequence: u64,
 }
@@ -157,8 +172,12 @@ impl Mempool {
             .map(|i| i.prevout.txid)
             .filter(|t| self.entries.contains_key(t))
             .collect();
+        let ancestors: HashSet<Txid> = if parents.is_empty() {
+            HashSet::new()
+        } else {
+            self.collect_ancestors(parents.iter().copied())
+        };
         if !parents.is_empty() {
-            let ancestors = self.collect_ancestors(parents.iter().copied());
             if ancestors.len() >= self.policy.max_ancestors {
                 return Err(AcceptError::TooManyAncestors);
             }
@@ -174,28 +193,140 @@ impl Mempool {
         for input in tx.inputs() {
             self.spent.insert(input.prevout, txid);
         }
+        let has_parent = !parents.is_empty();
         for parent in parents {
             self.children.entry(parent).or_default().insert(txid);
         }
         // P2P paths can deliver a child before its parent; if any resident
         // transaction already spends one of this transaction's outputs,
         // reconstruct the parent→child edge now.
+        let mut reconnected = false;
         for vout in 0..tx.outputs().len() as u32 {
             if let Some(&child) = self.spent.get(&OutPoint::new(txid, vout)) {
                 self.children.entry(txid).or_default().insert(child);
+                reconnected = true;
             }
         }
-        self.total_vsize += tx.vsize();
+        let vsize = tx.vsize();
+        self.total_vsize += vsize;
         self.by_rate.insert((rate, Reverse(sequence), txid));
         self.entries.insert(txid, MempoolEntry::new(tx, fee, now, sequence));
+        if self.index_active {
+            self.by_desc_rate.insert((FeeRate::from_fee_and_vsize(fee, vsize), txid));
+            self.rows.insert(
+                txid,
+                SnapshotEntry {
+                    txid,
+                    received: now,
+                    fee,
+                    vsize,
+                    has_unconfirmed_parent: has_parent,
+                },
+            );
+            self.snapshot_cache = None;
+        }
+        if reconnected {
+            // Rare out-of-order arrival: the new transaction gained resident
+            // descendants, so the incremental deltas below don't apply.
+            // Recompute the affected neighbourhood from the graph.
+            self.rescore_around(&txid);
+        } else {
+            let fee_sat = fee.to_sat();
+            let mut anc_fee = fee_sat;
+            let mut anc_vsize = vsize;
+            for a in &ancestors {
+                let e = self.entries.get(a).expect("ancestors resident");
+                anc_fee += e.fee().to_sat();
+                anc_vsize += e.vsize();
+            }
+            let entry = self.entries.get_mut(&txid).expect("just inserted");
+            entry.anc_fee = anc_fee;
+            entry.anc_vsize = anc_vsize;
+            for a in &ancestors {
+                self.shift_desc_score(a, fee_sat as i128, vsize as i128);
+            }
+        }
         Ok(txid)
     }
 
+    /// The descendant-package index key currently stored for `txid`.
+    fn desc_key(entry: &MempoolEntry, txid: Txid) -> (FeeRate, Txid) {
+        (FeeRate::from_fee_and_vsize(Amount::from_sat(entry.desc_fee), entry.desc_vsize), txid)
+    }
+
+    /// Applies a delta to `txid`'s descendant-package totals, re-keying the
+    /// eviction index.
+    fn shift_desc_score(&mut self, txid: &Txid, dfee: i128, dvsize: i128) {
+        let index_active = self.index_active;
+        let Some(entry) = self.entries.get_mut(txid) else { return };
+        let old_key = Self::desc_key(entry, *txid);
+        entry.desc_fee = (entry.desc_fee as i128 + dfee).max(0) as u64;
+        entry.desc_vsize = (entry.desc_vsize as i128 + dvsize).max(0) as u64;
+        let new_key = Self::desc_key(entry, *txid);
+        if index_active && new_key != old_key {
+            self.by_desc_rate.remove(&old_key);
+            self.by_desc_rate.insert(new_key);
+        }
+    }
+
+    /// Recomputes the cached package scores around `txid` from the graph:
+    /// ancestor scores for `txid` and its descendants, descendant scores
+    /// for `txid` and its ancestors, and parent flags for its children.
+    /// Only needed on the rare child-before-parent reconnect.
+    fn rescore_around(&mut self, txid: &Txid) {
+        let mut down = self.descendants(txid);
+        down.push(*txid);
+        for d in down {
+            let (fee, vsize) = self.compute_ancestor_package(&d);
+            if let Some(e) = self.entries.get_mut(&d) {
+                e.anc_fee = fee.to_sat();
+                e.anc_vsize = vsize;
+            }
+        }
+        let mut up = self.ancestors(txid);
+        up.push(*txid);
+        for a in up {
+            let (fee, vsize) = self.compute_descendant_package(&a);
+            let index_active = self.index_active;
+            let keys = self.entries.get_mut(&a).map(|entry| {
+                let old_key = Self::desc_key(entry, a);
+                entry.desc_fee = fee.to_sat();
+                entry.desc_vsize = vsize;
+                (old_key, Self::desc_key(entry, a))
+            });
+            if let Some((old_key, new_key)) = keys {
+                if index_active && new_key != old_key {
+                    self.by_desc_rate.remove(&old_key);
+                    self.by_desc_rate.insert(new_key);
+                }
+            }
+        }
+        if self.index_active {
+            let kids: Vec<Txid> =
+                self.children.get(txid).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            for c in kids {
+                if let Some(row) = self.rows.get_mut(&c) {
+                    if !row.has_unconfirmed_parent {
+                        row.has_unconfirmed_parent = true;
+                        self.snapshot_cache = None;
+                    }
+                }
+            }
+        }
+    }
+
     /// Removes one transaction (no descendant handling); returns the entry.
+    /// Package scores of survivors are the *caller's* responsibility — see
+    /// [`Mempool::remove_confirmed`] and [`Mempool::remove_with_descendants`].
     fn remove_single(&mut self, txid: &Txid) -> Option<MempoolEntry> {
         let entry = self.entries.remove(txid)?;
         self.by_rate
             .remove(&(entry.fee_rate(), Reverse(entry.sequence()), *txid));
+        if self.index_active {
+            self.by_desc_rate.remove(&Self::desc_key(&entry, *txid));
+            self.rows.remove(txid);
+            self.snapshot_cache = None;
+        }
         self.total_vsize -= entry.vsize();
         for input in entry.tx().inputs() {
             self.spent.remove(&input.prevout);
@@ -208,8 +339,81 @@ impl Mempool {
                 }
             }
         }
-        self.children.remove(txid);
+        let kids = self.children.remove(txid);
+        // Direct children lost a resident parent; refresh their CPFP flag.
+        if self.index_active {
+            if let Some(kids) = kids {
+                for c in kids {
+                    let flag = self
+                        .entries
+                        .get(&c)
+                        .map(|e| {
+                            e.tx()
+                                .inputs()
+                                .iter()
+                                .any(|i| self.entries.contains_key(&i.prevout.txid))
+                        })
+                        .unwrap_or(false);
+                    if let Some(row) = self.rows.get_mut(&c) {
+                        row.has_unconfirmed_parent = flag;
+                    }
+                }
+            }
+        }
         Some(entry)
+    }
+
+    /// Removes a transaction confirmed by a block. Valid blocks confirm
+    /// parents before children, so the entry normally has no in-pool
+    /// ancestors left; its descendants each lose exactly this transaction
+    /// from their ancestor package. A defensive fallback recomputes the
+    /// neighbourhood if the topological precondition ever fails.
+    fn remove_confirmed(&mut self, txid: &Txid) -> Option<MempoolEntry> {
+        let entry = self.entries.get(txid)?;
+        let fee = entry.fee().to_sat();
+        let vsize = entry.vsize();
+        let has_ancestor = entry
+            .tx()
+            .inputs()
+            .iter()
+            .any(|i| self.entries.contains_key(&i.prevout.txid));
+        if !has_ancestor {
+            for d in self.descendants(txid) {
+                if let Some(e) = self.entries.get_mut(&d) {
+                    e.anc_fee = e.anc_fee.saturating_sub(fee);
+                    e.anc_vsize = e.anc_vsize.saturating_sub(vsize);
+                }
+            }
+            self.remove_single(txid)
+        } else {
+            let ancestors = self.ancestors(txid);
+            let descendants = self.descendants(txid);
+            let removed = self.remove_single(txid);
+            for d in descendants {
+                let (fee, vsize) = self.compute_ancestor_package(&d);
+                if let Some(e) = self.entries.get_mut(&d) {
+                    e.anc_fee = fee.to_sat();
+                    e.anc_vsize = vsize;
+                }
+            }
+            for a in ancestors {
+                let (fee, vsize) = self.compute_descendant_package(&a);
+                let index_active = self.index_active;
+                let keys = self.entries.get_mut(&a).map(|entry| {
+                    let old_key = Self::desc_key(entry, a);
+                    entry.desc_fee = fee.to_sat();
+                    entry.desc_vsize = vsize;
+                    (old_key, Self::desc_key(entry, a))
+                });
+                if let Some((old_key, new_key)) = keys {
+                    if index_active && new_key != old_key {
+                        self.by_desc_rate.remove(&old_key);
+                        self.by_desc_rate.insert(new_key);
+                    }
+                }
+            }
+            removed
+        }
     }
 
     /// Removes `txid` and every in-pool descendant (used when a transaction
@@ -217,6 +421,21 @@ impl Mempool {
     pub fn remove_with_descendants(&mut self, txid: &Txid) -> Vec<MempoolEntry> {
         let mut order = self.descendants(txid);
         order.push(*txid);
+        // The whole subtree leaves together, so no survivor loses an
+        // ancestor (a survivor descending from a removed tx would itself be
+        // in the subtree). Survivors that are ancestors of removed members
+        // shed them from their descendant packages; subtract each removed
+        // member from its out-of-subtree ancestors before edges disappear.
+        let removal_set: HashSet<Txid> = order.iter().copied().collect();
+        for r in &order {
+            let Some(e) = self.entries.get(r) else { continue };
+            let (fee, vsize) = (e.fee().to_sat(), e.vsize());
+            for a in self.ancestors(r) {
+                if !removal_set.contains(&a) {
+                    self.shift_desc_score(&a, -(fee as i128), -(vsize as i128));
+                }
+            }
+        }
         let mut removed = Vec::with_capacity(order.len());
         for t in order {
             if let Some(e) = self.remove_single(&t) {
@@ -234,7 +453,7 @@ impl Mempool {
         let mut conflicted = 0;
         for tx in block.body() {
             let txid = tx.txid();
-            if self.remove_single(&txid).is_some() {
+            if self.remove_confirmed(&txid).is_some() {
                 confirmed += 1;
             }
             // A confirmed spend of an outpoint invalidates any other pool
@@ -311,9 +530,18 @@ impl Mempool {
 
     /// The *descendant package score* of `txid`: total fee and vsize of
     /// the transaction plus all its in-pool descendants — the quantity
-    /// Bitcoin Core's size-limit eviction ranks by.
+    /// Bitcoin Core's size-limit eviction ranks by. O(1): the pool keeps
+    /// the score current across every add/remove/confirm.
     pub fn descendant_package(&self, txid: &Txid) -> Option<(Amount, u64)> {
-        let entry = self.entries.get(txid)?;
+        self.entries.get(txid).map(|e| e.descendant_score())
+    }
+
+    /// Walk-based descendant-package score, for rescoring fallbacks and
+    /// index-consistency checks.
+    fn compute_descendant_package(&self, txid: &Txid) -> (Amount, u64) {
+        let Some(entry) = self.entries.get(txid) else {
+            return (Amount::ZERO, 0);
+        };
         let mut fee = entry.fee();
         let mut vsize = entry.vsize();
         for d in self.descendants(txid) {
@@ -321,30 +549,20 @@ impl Mempool {
             fee += e.fee();
             vsize += e.vsize();
         }
-        Some((fee, vsize))
+        (fee, vsize)
     }
 
     /// Evicts lowest-value packages until the pool fits in `max_vsize`
     /// virtual bytes — Bitcoin Core's `-maxmempool` behaviour. The victim
     /// each round is the transaction with the lowest descendant-package
-    /// fee rate; it leaves together with its descendants. Returns the
-    /// evicted txids in eviction order.
+    /// fee rate (ties by txid); it leaves together with its descendants.
+    /// Returns the evicted txids in eviction order. O(log n) per victim
+    /// via the maintained descendant-rate index.
     pub fn limit_size(&mut self, max_vsize: u64) -> Vec<Txid> {
+        self.activate_index();
         let mut evicted = Vec::new();
         while self.total_vsize > max_vsize {
-            // Scan for the worst descendant-package rate. The scan is
-            // O(n·descendants); eviction is rare (only on overflow), so
-            // clarity wins over an incrementally maintained index here.
-            let victim = self
-                .entries
-                .keys()
-                .copied()
-                .filter_map(|t| {
-                    let (fee, vsize) = self.descendant_package(&t)?;
-                    Some((FeeRate::from_fee_and_vsize(fee, vsize), t))
-                })
-                .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-            let Some((_, victim)) = victim else { break };
+            let Some(&(_, victim)) = self.by_desc_rate.iter().next() else { break };
             evicted.extend(self.remove_with_descendants(&victim).iter().map(|e| e.txid()));
         }
         evicted
@@ -352,9 +570,18 @@ impl Mempool {
 
     /// The CPFP *ancestor package score* of `txid`: total fee and vsize of
     /// the transaction plus all its in-pool ancestors — the quantity
-    /// Bitcoin Core's assembler actually ranks by.
+    /// Bitcoin Core's assembler actually ranks by. O(1): the pool keeps
+    /// the score current across every add/remove/confirm.
     pub fn ancestor_package(&self, txid: &Txid) -> Option<(Amount, u64)> {
-        let entry = self.entries.get(txid)?;
+        self.entries.get(txid).map(|e| e.ancestor_score())
+    }
+
+    /// Walk-based ancestor-package score, for rescoring fallbacks and
+    /// index-consistency checks.
+    fn compute_ancestor_package(&self, txid: &Txid) -> (Amount, u64) {
+        let Some(entry) = self.entries.get(txid) else {
+            return (Amount::ZERO, 0);
+        };
         let mut fee = entry.fee();
         let mut vsize = entry.vsize();
         for a in self.ancestors(txid) {
@@ -362,7 +589,49 @@ impl Mempool {
             fee += e.fee();
             vsize += e.vsize();
         }
-        Some((fee, vsize))
+        (fee, vsize)
+    }
+
+    /// Builds `by_desc_rate` and `rows` from current entries and switches
+    /// on their incremental upkeep. Both indexes are pure functions of the
+    /// entry set (descendant scores are always maintained), so a pool that
+    /// activates late holds exactly what one active from birth would.
+    fn activate_index(&mut self) {
+        if self.index_active {
+            return;
+        }
+        self.index_active = true;
+        self.by_desc_rate =
+            self.entries.iter().map(|(txid, e)| Self::desc_key(e, *txid)).collect();
+        self.rows = self
+            .entries
+            .values()
+            .map(|e| {
+                let txid = e.txid();
+                let has_parent = e
+                    .tx()
+                    .inputs()
+                    .iter()
+                    .any(|i| self.entries.contains_key(&i.prevout.txid));
+                (
+                    txid,
+                    SnapshotEntry {
+                        txid,
+                        received: e.received(),
+                        fee: e.fee(),
+                        vsize: e.vsize(),
+                        has_unconfirmed_parent: has_parent,
+                    },
+                )
+            })
+            .collect();
+        self.snapshot_cache = None;
+    }
+
+    /// Direct in-pool children of `txid` (one spending hop, not the full
+    /// descendant closure).
+    pub fn children_of(&self, txid: &Txid) -> impl Iterator<Item = Txid> + '_ {
+        self.children.get(txid).into_iter().flat_map(|s| s.iter().copied())
     }
 
     /// Whether `txid` has at least one in-pool ancestor (i.e. is the child
@@ -412,20 +681,21 @@ impl Mempool {
     }
 
     /// Records the pool's full state at `now` — one paper-style dataset
-    /// row with per-transaction entries.
-    pub fn snapshot(&self, now: Timestamp) -> MempoolSnapshot {
-        let entries: Vec<SnapshotEntry> = self
-            .entries
-            .values()
-            .map(|e| SnapshotEntry {
-                txid: e.txid(),
-                received: e.received(),
-                fee: e.fee(),
-                vsize: e.vsize(),
-                has_unconfirmed_parent: self.has_unconfirmed_parent(&e.txid()),
-            })
-            .collect();
-        MempoolSnapshot::from_entries(now, entries)
+    /// row with per-transaction entries. The rows are kept live (sorted,
+    /// CPFP-flagged) by the pool, so this is a single shared-storage copy;
+    /// consecutive snapshots of an unchanged pool share one allocation.
+    pub fn snapshot(&mut self, now: Timestamp) -> MempoolSnapshot {
+        self.activate_index();
+        let rows = match &self.snapshot_cache {
+            Some(cached) => Arc::clone(cached),
+            None => {
+                let rows: Arc<Vec<SnapshotEntry>> =
+                    Arc::new(self.rows.values().copied().collect());
+                self.snapshot_cache = Some(Arc::clone(&rows));
+                rows
+            }
+        };
+        MempoolSnapshot::from_shared(now, rows, self.total_vsize)
     }
 
     /// Records only the pool's aggregate state at `now` (count and total

@@ -14,6 +14,7 @@
 //! subset.
 
 use cn_chain::{Amount, FeeRate, Timestamp, Txid};
+use std::sync::Arc;
 
 /// One transaction's row within a detailed snapshot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,12 +41,16 @@ impl SnapshotEntry {
 }
 
 /// The state of a Mempool at one instant.
+///
+/// Detailed snapshots share their row storage behind an [`Arc`]: cloning a
+/// snapshot, or taking repeated snapshots of an unchanged pool, costs one
+/// reference count instead of one row copy.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct MempoolSnapshot {
     /// Snapshot time.
     pub time: Timestamp,
     /// Resident transactions, sorted by txid (empty for light snapshots).
-    pub entries: Vec<SnapshotEntry>,
+    pub entries: Arc<Vec<SnapshotEntry>>,
     detailed: bool,
     truncated: bool,
     count: usize,
@@ -58,12 +63,32 @@ impl MempoolSnapshot {
         entries.sort_by_key(|e| e.txid);
         let count = entries.len();
         let vsize = entries.iter().map(|e| e.vsize).sum();
+        MempoolSnapshot { time, entries: Arc::new(entries), detailed: true, truncated: false, count, vsize }
+    }
+
+    /// Builds a detailed snapshot over already-sorted shared rows whose
+    /// aggregate vsize the caller has tracked (the Mempool hot path).
+    pub fn from_shared(
+        time: Timestamp,
+        entries: Arc<Vec<SnapshotEntry>>,
+        vsize: u64,
+    ) -> MempoolSnapshot {
+        debug_assert!(entries.windows(2).all(|w| w[0].txid <= w[1].txid), "rows must be sorted");
+        debug_assert_eq!(entries.iter().map(|e| e.vsize).sum::<u64>(), vsize);
+        let count = entries.len();
         MempoolSnapshot { time, entries, detailed: true, truncated: false, count, vsize }
     }
 
     /// Builds a light snapshot carrying only aggregates.
     pub fn light(time: Timestamp, count: usize, vsize: u64) -> MempoolSnapshot {
-        MempoolSnapshot { time, entries: Vec::new(), detailed: false, truncated: false, count, vsize }
+        MempoolSnapshot {
+            time,
+            entries: Arc::new(Vec::new()),
+            detailed: false,
+            truncated: false,
+            count,
+            vsize,
+        }
     }
 
     /// A copy of this detailed snapshot with its per-transaction dump cut
@@ -71,16 +96,27 @@ impl MempoolSnapshot {
     /// the first `keep_frac` of the txid-sorted rows, recomputes the
     /// aggregates from the surviving rows (the cut loses them too), and
     /// marks the result [`MempoolSnapshot::is_truncated`]. Light snapshots
-    /// are returned unchanged: they carry no dump to truncate.
+    /// are returned unchanged: they carry no dump to truncate. A cut that
+    /// keeps every row shares the original storage instead of copying it.
     pub fn truncate_detail(&self, keep_frac: f64) -> MempoolSnapshot {
         if !self.detailed {
             return self.clone();
         }
         let keep = (self.entries.len() as f64 * keep_frac.clamp(0.0, 1.0)) as usize;
-        let entries: Vec<SnapshotEntry> = self.entries[..keep.min(self.entries.len())].to_vec();
+        if keep >= self.entries.len() {
+            return MempoolSnapshot { truncated: true, ..self.clone() };
+        }
+        let entries: Vec<SnapshotEntry> = self.entries[..keep].to_vec();
         let count = entries.len();
         let vsize = entries.iter().map(|e| e.vsize).sum();
-        MempoolSnapshot { time: self.time, entries, detailed: true, truncated: true, count, vsize }
+        MempoolSnapshot {
+            time: self.time,
+            entries: Arc::new(entries),
+            detailed: true,
+            truncated: true,
+            count,
+            vsize,
+        }
     }
 
     /// True when per-transaction rows are present.

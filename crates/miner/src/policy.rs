@@ -53,6 +53,15 @@ pub trait MinerPolicy: Send + Sync {
 
     /// A short label for reports.
     fn name(&self) -> &str;
+
+    /// Whether [`MinerPolicy::classify`] ever reads
+    /// [`TxContext::input_addresses`]. Template building resolves every
+    /// input's address per candidate when true; policies that only look at
+    /// the transaction itself (or nothing) should return false so the
+    /// norm-following majority of pools skips that work entirely.
+    fn wants_input_addresses(&self) -> bool {
+        true
+    }
 }
 
 /// The norm-following policy: pure fee-rate prioritization (what the paper
@@ -67,6 +76,10 @@ impl MinerPolicy for NormPolicy {
 
     fn name(&self) -> &str {
         "norm"
+    }
+
+    fn wants_input_addresses(&self) -> bool {
+        false
     }
 }
 
@@ -134,6 +147,10 @@ impl MinerPolicy for DarkFeePolicy {
 
     fn name(&self) -> &str {
         "dark-fee"
+    }
+
+    fn wants_input_addresses(&self) -> bool {
+        false
     }
 }
 
@@ -212,6 +229,10 @@ impl MinerPolicy for CompositePolicy {
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn wants_input_addresses(&self) -> bool {
+        self.parts.iter().any(|p| p.wants_input_addresses())
     }
 }
 

@@ -115,13 +115,18 @@ impl MiningPool {
         resolve_input: &dyn Fn(&OutPoint) -> Option<Address>,
     ) -> Block {
         let assembler = BlockAssembler::new(params.clone());
+        let wants_inputs = self.policy.wants_input_addresses();
         let template: BlockTemplate = assembler.assemble(mempool, |entry| {
-            let input_addresses: Vec<Address> = entry
-                .tx()
-                .inputs()
-                .iter()
-                .filter_map(|i| resolve_input(&i.prevout))
-                .collect();
+            let input_addresses: Vec<Address> = if wants_inputs {
+                entry
+                    .tx()
+                    .inputs()
+                    .iter()
+                    .filter_map(|i| resolve_input(&i.prevout))
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let ctx = TxContext {
                 tx: entry.tx(),
                 fee_rate: entry.fee_rate(),

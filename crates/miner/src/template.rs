@@ -21,13 +21,17 @@ use cn_chain::{Amount, Params, Transaction, Txid};
 use cn_mempool::{Mempool, MempoolEntry};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// The product of template construction: ordered body transactions plus
 /// their fees (coinbase is the pool's job).
+///
+/// Transactions are shared handles into the mempool's storage — assembling
+/// a template never copies a transaction body.
 #[derive(Clone, Debug)]
 pub struct BlockTemplate {
     /// Body transactions in final block order.
-    pub transactions: Vec<Transaction>,
+    pub transactions: Vec<Arc<Transaction>>,
     /// Fee of each transaction, parallel to `transactions`.
     pub fees: Vec<Amount>,
     /// Total fees offered by the body.
@@ -135,13 +139,87 @@ impl BlockAssembler {
 
     /// Builds a template from `mempool`, classifying each candidate with
     /// `classify` (use `|_| Priority::Normal` for a norm-following miner).
+    ///
+    /// Selection runs on the mempool's incrementally maintained
+    /// ancestor-package scores: near-linear in the number of candidates
+    /// instead of rescoring every package per heap operation. The result
+    /// is bit-identical to [`BlockAssembler::assemble_reference`], the
+    /// walk-everything specification version.
     pub fn assemble<F>(&self, mempool: &Mempool, classify: F) -> BlockTemplate
     where
         F: Fn(&MempoolEntry) -> Priority,
     {
-        let mut priorities: HashMap<Txid, Priority> = HashMap::with_capacity(mempool.len());
+        let priorities = self.classify_priorities(mempool, classify);
+        let budget = self.weight_budget();
+        let mut selected: Vec<Txid> = Vec::new();
+        let mut selected_set: HashSet<Txid> = HashSet::new();
+        let mut used_weight = 0u64;
+        // Remaining package score per candidate: self + every *unselected*
+        // in-pool ancestor. A sparse overlay over the pool's cached
+        // ancestor totals: an absent key means "nothing selected out of
+        // this package yet", so the cached score is authoritative and no
+        // per-candidate seeding pass is needed.
+        let mut rem: HashMap<Txid, (u64, u64)> = HashMap::new();
+
+        for phase in [Priority::Accelerate, Priority::Normal, Priority::Decelerate] {
+            self.select_phase_indexed(
+                mempool,
+                &priorities,
+                phase,
+                budget,
+                &mut used_weight,
+                &mut selected,
+                &mut selected_set,
+                &mut rem,
+            );
+        }
+
+        self.order_and_finish(mempool, &priorities, selected)
+    }
+
+    /// Walk-based reference assembler: recomputes every package score from
+    /// the transaction graph, exactly as written before the indexed hot
+    /// path existed. Kept as the specification the optimized
+    /// [`BlockAssembler::assemble`] must match bit for bit (see the
+    /// property tests); not intended for production use.
+    pub fn assemble_reference<F>(&self, mempool: &Mempool, classify: F) -> BlockTemplate
+    where
+        F: Fn(&MempoolEntry) -> Priority,
+    {
+        let priorities = self.classify_priorities(mempool, classify);
+        let budget = self.weight_budget();
+        let mut selected: Vec<Txid> = Vec::new();
+        let mut selected_set: HashSet<Txid> = HashSet::new();
+        let mut used_weight = 0u64;
+        for phase in [Priority::Accelerate, Priority::Normal, Priority::Decelerate] {
+            self.select_phase_reference(
+                mempool,
+                &priorities,
+                phase,
+                budget,
+                &mut used_weight,
+                &mut selected,
+                &mut selected_set,
+            );
+        }
+        self.order_and_finish(mempool, &priorities, selected)
+    }
+
+    /// Applies `classify` and propagates priorities along package edges
+    /// (exclusion down, acceleration up, deceleration down).
+    fn classify_priorities<F>(&self, mempool: &Mempool, classify: F) -> HashMap<Txid, Priority>
+    where
+        F: Fn(&MempoolEntry) -> Priority,
+    {
+        // Sparse: only deviations from Normal are stored (the map is empty
+        // for a norm-following pool), so lookups go through
+        // [`BlockAssembler::prio`].
+        let mut priorities: HashMap<Txid, Priority> = HashMap::new();
         for entry in mempool.iter() {
-            priorities.insert(entry.txid(), classify(entry));
+            let p = classify(entry);
+            if p != Priority::Normal {
+                priorities.insert(entry.txid(), p);
+            }
         }
         // Exclusion propagates downward: a descendant of an excluded
         // transaction cannot be mined (its input would be missing).
@@ -184,54 +262,178 @@ impl BlockAssembler {
                 continue; // was re-prioritized by an accelerated descendant
             }
             for d in mempool.descendants(&seed) {
-                if priorities.get(&d) == Some(&Priority::Normal) {
+                if Self::prio(&priorities, &d) == Priority::Normal {
                     priorities.insert(d, Priority::Decelerate);
                 }
             }
         }
 
-        let budget = self.weight_budget();
-        let mut selected: Vec<Txid> = Vec::new();
-        let mut selected_set: HashSet<Txid> = HashSet::new();
-        let mut used_weight = 0u64;
-
-        // Phase A: accelerated packages, best-rate first.
-        self.select_phase(
-            mempool,
-            &priorities,
-            Priority::Accelerate,
-            budget,
-            &mut used_weight,
-            &mut selected,
-            &mut selected_set,
-        );
-        // Phase B: the norm — normal packages.
-        self.select_phase(
-            mempool,
-            &priorities,
-            Priority::Normal,
-            budget,
-            &mut used_weight,
-            &mut selected,
-            &mut selected_set,
-        );
-        // Phase C: decelerated packages fill what is left.
-        self.select_phase(
-            mempool,
-            &priorities,
-            Priority::Decelerate,
-            budget,
-            &mut used_weight,
-            &mut selected,
-            &mut selected_set,
-        );
-
-        self.order_and_finish(mempool, &priorities, selected)
+        priorities
     }
 
-    /// Greedy ancestor-package selection restricted to one priority class.
+    /// The effective priority of `txid` under a sparse priority map
+    /// (absent means Normal).
+    fn prio(priorities: &HashMap<Txid, Priority>, txid: &Txid) -> Priority {
+        priorities.get(txid).copied().unwrap_or(Priority::Normal)
+    }
+
+    /// Whether phase `phase` may pull in a package member of priority `p`.
+    fn phase_allows(phase: Priority, p: Priority) -> bool {
+        match p {
+            Priority::Exclude => false,
+            // The accelerate phase drags ancestors of any minable priority.
+            _ if phase == Priority::Accelerate => true,
+            _ => p == phase,
+        }
+    }
+
+    /// Greedy ancestor-package selection for one priority class, driven by
+    /// maintained remaining-package scores.
+    ///
+    /// Invariants making this bit-identical to the reference walk:
+    /// * `rem[t]` always equals self + every unselected in-pool ancestor,
+    ///   because every selected transaction is subtracted from all of its
+    ///   descendants at selection time.
+    /// * A candidate is *blocked* when some unselected ancestor has a
+    ///   priority the phase must not pull in. Blockers can never be
+    ///   selected during the phase (selections are restricted to allowed
+    ///   priorities), so blocked status is static per phase and one
+    ///   downward sweep computes it.
+    /// * Heap keys are exact integer package scores, so pop order matches
+    ///   the reference's recompute-per-pop order.
     #[allow(clippy::too_many_arguments)]
-    fn select_phase(
+    fn select_phase_indexed(
+        &self,
+        mempool: &Mempool,
+        priorities: &HashMap<Txid, Priority>,
+        phase: Priority,
+        budget: u64,
+        used_weight: &mut u64,
+        selected: &mut Vec<Txid>,
+        selected_set: &mut HashSet<Txid>,
+        rem: &mut HashMap<Txid, (u64, u64)>,
+    ) {
+        // Downward sweep: everything below a disallowed unselected
+        // transaction is unpackageable this phase.
+        let mut blocked: HashSet<Txid> = HashSet::new();
+        let mut stack: Vec<Txid> = Vec::new();
+        for entry in mempool.iter() {
+            let txid = entry.txid();
+            if selected_set.contains(&txid) {
+                continue;
+            }
+            let p = Self::prio(priorities, &txid);
+            if !Self::phase_allows(phase, p) {
+                stack.push(txid);
+            }
+        }
+        while let Some(t) = stack.pop() {
+            for c in mempool.children_of(&t) {
+                if blocked.insert(c) {
+                    stack.push(c);
+                }
+            }
+        }
+
+        let score_of = |rem: &HashMap<Txid, (u64, u64)>, txid: &Txid| -> PackageScore {
+            let e = mempool.get(txid).expect("resident");
+            let (fee, vsize) = rem.get(txid).copied().unwrap_or_else(|| {
+                let (f, v) = e.ancestor_score();
+                (f.to_sat(), v)
+            });
+            PackageScore { fee, vsize, seq: e.sequence() }
+        };
+
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        // Smallest single-transaction weight among candidates: a lower
+        // bound on any package still to come (every package weighs at
+        // least its own child). Lets the pop loop stop as soon as no
+        // candidate can possibly fit, instead of walk-checking the whole
+        // remaining heap — pure early exit, selections are unchanged.
+        let mut min_weight = u64::MAX;
+        for entry in mempool.iter() {
+            let txid = entry.txid();
+            if Self::prio(priorities, &txid) != phase
+                || selected_set.contains(&txid)
+                || blocked.contains(&txid)
+            {
+                continue;
+            }
+            min_weight = min_weight.min(entry.tx().weight());
+            heap.push(HeapItem { score: score_of(rem, &txid), txid });
+        }
+        while let Some(item) = heap.pop() {
+            if budget - *used_weight < min_weight {
+                break; // no remaining package can fit
+            }
+            if selected_set.contains(&item.txid) {
+                continue; // already swept in as someone's ancestor
+            }
+            // Stale check against the maintained score; if an ancestor was
+            // selected since this entry was pushed, reinsert and retry.
+            let score = score_of(rem, &item.txid);
+            if score != item.score {
+                heap.push(HeapItem { score, txid: item.txid });
+                continue;
+            }
+            // Gather the unselected ancestors + self, check the fit.
+            let mut package: Vec<Txid> = mempool
+                .ancestors(&item.txid)
+                .into_iter()
+                .filter(|a| !selected_set.contains(a))
+                .collect();
+            package.push(item.txid);
+            let weight: u64 = package
+                .iter()
+                .map(|t| mempool.get(t).expect("resident").tx().weight())
+                .sum();
+            if *used_weight + weight > budget {
+                continue; // does not fit; try the next-best package
+            }
+            // Include ancestors before the child (topological within package).
+            package.sort_by_key(|t| {
+                let depth = mempool.ancestors(t).len();
+                (depth, mempool.get(t).expect("resident").sequence())
+            });
+            for txid in &package {
+                if selected_set.insert(*txid) {
+                    selected.push(*txid);
+                }
+            }
+            *used_weight += weight;
+            // Every selected member leaves the remaining package of each of
+            // its unselected descendants.
+            for m in &package {
+                let e = mempool.get(m).expect("resident");
+                let (mfee, mvsize) = (e.fee().to_sat(), e.vsize());
+                for d in mempool.descendants(m) {
+                    if selected_set.contains(&d) {
+                        continue;
+                    }
+                    let slot = rem.entry(d).or_insert_with(|| {
+                        let (f, v) = mempool.get(&d).expect("resident").ancestor_score();
+                        (f.to_sat(), v)
+                    });
+                    slot.0 -= mfee;
+                    slot.1 -= mvsize;
+                }
+            }
+            // Descendants of what we just took have new package scores.
+            for d in mempool.descendants(&item.txid) {
+                if Self::prio(priorities, &d) == phase
+                    && !selected_set.contains(&d)
+                    && !blocked.contains(&d)
+                {
+                    heap.push(HeapItem { score: score_of(rem, &d), txid: d });
+                }
+            }
+        }
+    }
+
+    /// Greedy ancestor-package selection restricted to one priority class
+    /// (reference version: rescans and rescores via graph walks).
+    #[allow(clippy::too_many_arguments)]
+    fn select_phase_reference(
         &self,
         mempool: &Mempool,
         priorities: &HashMap<Txid, Priority>,
@@ -244,7 +446,7 @@ impl BlockAssembler {
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
         for entry in mempool.iter() {
             let txid = entry.txid();
-            if priorities.get(&txid) != Some(&phase) || selected_set.contains(&txid) {
+            if Self::prio(priorities, &txid) != phase || selected_set.contains(&txid) {
                 continue;
             }
             if let Some(score) = self.package_score(mempool, &txid, selected_set, priorities, phase)
@@ -294,7 +496,7 @@ impl BlockAssembler {
             *used_weight += weight;
             // Descendants of what we just took have new package scores.
             for d in mempool.descendants(&item.txid) {
-                if priorities.get(&d) == Some(&phase) && !selected_set.contains(&d) {
+                if Self::prio(priorities, &d) == phase && !selected_set.contains(&d) {
                     if let Some(score) =
                         self.package_score(mempool, &d, selected_set, priorities, phase)
                     {
@@ -324,11 +526,11 @@ impl BlockAssembler {
             if selected_set.contains(&a) {
                 continue;
             }
-            match priorities.get(&a) {
-                Some(Priority::Exclude) => return None,
+            match Self::prio(priorities, &a) {
+                Priority::Exclude => return None,
                 // An ancestor in a *lower* phase cannot be pulled in by a
                 // higher phase; Accelerate ancestors were already promoted.
-                Some(p) if *p != phase && phase != Priority::Accelerate => return None,
+                p if p != phase && phase != Priority::Accelerate => return None,
                 _ => {}
             }
             let e = mempool.get(&a).expect("ancestors resident");
@@ -421,21 +623,12 @@ impl BlockAssembler {
         let mut ordered: Vec<Txid> = Vec::with_capacity(selected.len());
         while let Some(key) = ready.pop() {
             ordered.push(key.txid);
-            for child in mempool.descendants(&key.txid) {
+            // Only direct children hold a placement dependency on this tx.
+            for child in mempool.children_of(&key.txid) {
                 if let Some(n) = pending_parents.get_mut(&child) {
-                    // Only direct children decrement; check parenthood.
-                    let is_direct = mempool
-                        .get(&child)
-                        .expect("resident")
-                        .tx()
-                        .inputs()
-                        .iter()
-                        .any(|i| i.prevout.txid == key.txid);
-                    if is_direct {
-                        *n = n.saturating_sub(1);
-                        if *n == 0 {
-                            ready.push(make_key(child));
-                        }
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        ready.push(make_key(child));
                     }
                 }
             }
@@ -451,7 +644,7 @@ impl BlockAssembler {
             total_fees += e.fee();
             total_weight += e.tx().weight();
             fees.push(e.fee());
-            transactions.push(e.tx().clone());
+            transactions.push(e.tx_arc());
         }
         BlockTemplate { transactions, fees, total_fees, total_weight }
     }

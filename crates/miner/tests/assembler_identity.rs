@@ -1,0 +1,111 @@
+//! Property test: the indexed hot-path assembler produces bit-identical
+//! templates to the walk-everything reference across randomized mempools —
+//! CPFP packages, accelerations, decelerations, and exclusions included.
+
+use cn_chain::{Address, Amount, Params, Transaction, Txid};
+use cn_mempool::{Mempool, MempoolPolicy};
+use cn_miner::{BlockAssembler, Priority};
+use cn_stats::SimRng;
+
+/// A deterministic priority mix keyed on the txid, so both assemblers see
+/// the same classification: ~10% accelerated, ~10% decelerated, ~10%
+/// excluded, rest normal.
+fn classify_by_txid(txid: &Txid) -> Priority {
+    match txid.0.as_bytes()[0] % 10 {
+        0 => Priority::Accelerate,
+        1 => Priority::Decelerate,
+        2 => Priority::Exclude,
+        _ => Priority::Normal,
+    }
+}
+
+/// Builds a randomized mempool: a mix of independent transactions and
+/// CPFP chains (children spending in-pool parents, up to two per parent),
+/// with sizes and fee rates spread wide enough to shuffle package scores.
+fn random_mempool(seed: u64) -> Mempool {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut mempool = Mempool::new(MempoolPolicy::accept_all());
+    let mut resident: Vec<(Txid, u32)> = Vec::new(); // (txid, children so far)
+    let n = 40 + rng.next_below(80);
+    for i in 0..n {
+        // ~30% of transactions chain off an earlier in-pool parent.
+        let parent = if !resident.is_empty() && rng.next_below(10) < 3 {
+            let idx = rng.next_below(resident.len() as u64) as usize;
+            (resident[idx].1 < 2).then(|| {
+                let vout = resident[idx].1;
+                resident[idx].1 += 1;
+                (resident[idx].0, vout)
+            })
+        } else {
+            None
+        };
+        let (src_txid, vout) = parent.unwrap_or_else(|| {
+            let mut bytes = [0u8; 32];
+            bytes[..8].copy_from_slice(&(seed ^ 0xdead_beef).to_le_bytes());
+            bytes[8..16].copy_from_slice(&i.to_le_bytes());
+            (Txid::from(bytes), 0)
+        });
+        let script_len = 60 + rng.next_below(1_800) as usize;
+        let tx = Transaction::builder()
+            .add_input_with_sizes(src_txid, vout, script_len, 0)
+            .pay_to(Address::from_label(&format!("r{seed}-{i}")), Amount::from_sat(20_000))
+            .pay_to(Address::from_label(&format!("c{seed}-{i}")), Amount::from_sat(15_000))
+            .build();
+        // Rates from below-floor to whale; CPFP children lean high so
+        // child-pays-for-parent packages actually outrank their parents.
+        let rate = 1 + rng.next_below(if parent.is_some() { 400 } else { 150 });
+        let fee = Amount::from_sat(tx.vsize() * rate);
+        let txid = mempool.add(tx, fee, i).expect("accept_all admits everything");
+        resident.push((txid, 0));
+    }
+    mempool
+}
+
+fn assert_templates_identical(assembler: &BlockAssembler, mempool: &Mempool, seed: u64) {
+    let fast = assembler.assemble(mempool, |e| classify_by_txid(&e.txid()));
+    let reference = assembler.assemble_reference(mempool, |e| classify_by_txid(&e.txid()));
+    let fast_ids: Vec<Txid> = fast.transactions.iter().map(|t| t.txid()).collect();
+    let ref_ids: Vec<Txid> = reference.transactions.iter().map(|t| t.txid()).collect();
+    assert_eq!(fast_ids, ref_ids, "selection/order diverged (seed {seed})");
+    assert_eq!(fast.fees, reference.fees, "fees diverged (seed {seed})");
+    assert_eq!(fast.total_fees, reference.total_fees, "total fees diverged (seed {seed})");
+    assert_eq!(fast.total_weight, reference.total_weight, "weight diverged (seed {seed})");
+}
+
+#[test]
+fn indexed_assembler_matches_reference_when_everything_fits() {
+    let assembler = BlockAssembler::new(Params::mainnet());
+    for seed in 0..25 {
+        assert_templates_identical(&assembler, &random_mempool(seed), seed);
+    }
+}
+
+#[test]
+fn indexed_assembler_matches_reference_under_contention() {
+    // Shrink the budget so only a fraction of the pool fits: exercises
+    // budget exhaustion, the min-weight early exit, and package splitting
+    // at the boundary.
+    let mut params = Params::mainnet();
+    params.max_block_weight = 120_000;
+    let assembler = BlockAssembler::new(params);
+    for seed in 100..125 {
+        assert_templates_identical(&assembler, &random_mempool(seed), seed);
+    }
+}
+
+#[test]
+fn indexed_assembler_matches_reference_norm_only() {
+    // The pure fee-rate norm (no priority map at all) is the hot path the
+    // majority of simulated pools run; cover it separately.
+    let mut params = Params::mainnet();
+    params.max_block_weight = 200_000;
+    let assembler = BlockAssembler::new(params);
+    for seed in 200..215 {
+        let mempool = random_mempool(seed);
+        let fast = assembler.assemble(&mempool, |_| Priority::Normal);
+        let reference = assembler.assemble_reference(&mempool, |_| Priority::Normal);
+        let fast_ids: Vec<Txid> = fast.transactions.iter().map(|t| t.txid()).collect();
+        let ref_ids: Vec<Txid> = reference.transactions.iter().map(|t| t.txid()).collect();
+        assert_eq!(fast_ids, ref_ids, "norm selection diverged (seed {seed})");
+    }
+}

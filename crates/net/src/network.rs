@@ -6,7 +6,7 @@ use cn_chain::{Amount, Block, Timestamp, Transaction};
 use cn_mempool::{AcceptError, Mempool, MempoolPolicy};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Index of a node in the network.
 pub type NodeId = usize;
@@ -45,6 +45,10 @@ pub struct Network {
     latency: LatencyModel,
     roles: Vec<NodeRole>,
     mempools: HashMap<NodeId, Mempool>,
+    /// Per-origin first-arrival vectors, filled on first use. Topology and
+    /// latencies never change after construction, so a cached single-source
+    /// run stays valid for the network's lifetime.
+    propagation: Vec<OnceLock<Vec<f64>>>,
 }
 
 /// Max-heap adapter for Dijkstra's min-priority queue over f64 distances.
@@ -94,7 +98,8 @@ impl Network {
                 NodeRole::Relay => {}
             }
         }
-        Network { topology, latency, roles, mempools }
+        let propagation = (0..topology.len()).map(|_| OnceLock::new()).collect();
+        Network { topology, latency, roles, mempools, propagation }
     }
 
     /// Number of nodes.
@@ -146,26 +151,30 @@ impl Network {
 
     /// First-arrival time (in fractional seconds after emission) of a
     /// flooded message from `origin` at every node — single-source
-    /// shortest paths over link latencies.
-    pub fn propagation_from(&self, origin: NodeId) -> Vec<f64> {
-        let n = self.len();
-        let mut dist = vec![f64::INFINITY; n];
-        dist[origin] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(QueueItem { dist: 0.0, node: origin });
-        while let Some(QueueItem { dist: d, node }) = heap.pop() {
-            if d > dist[node] {
-                continue;
-            }
-            for &next in self.topology.neighbors(node) {
-                let nd = d + self.latency.get(node, next);
-                if nd < dist[next] {
-                    dist[next] = nd;
-                    heap.push(QueueItem { dist: nd, node: next });
+    /// shortest paths over link latencies. The run is computed once per
+    /// origin and cached (the latency graph is immutable), so repeated
+    /// broadcasts from the same node cost one slice lookup.
+    pub fn propagation_from(&self, origin: NodeId) -> &[f64] {
+        self.propagation[origin].get_or_init(|| {
+            let n = self.len();
+            let mut dist = vec![f64::INFINITY; n];
+            dist[origin] = 0.0;
+            let mut heap = BinaryHeap::new();
+            heap.push(QueueItem { dist: 0.0, node: origin });
+            while let Some(QueueItem { dist: d, node }) = heap.pop() {
+                if d > dist[node] {
+                    continue;
+                }
+                for &next in self.topology.neighbors(node) {
+                    let nd = d + self.latency.get(node, next);
+                    if nd < dist[next] {
+                        dist[next] = nd;
+                        heap.push(QueueItem { dist: nd, node: next });
+                    }
                 }
             }
-        }
-        dist
+            dist
+        })
     }
 
     /// Broadcasts a transaction issued at `origin` at absolute time `when`
@@ -179,7 +188,7 @@ impl Network {
         fee: Amount,
         when: Timestamp,
     ) -> Vec<(NodeId, Timestamp, Result<(), AcceptError>)> {
-        let arrivals = self.propagation_from(origin);
+        let arrivals = self.propagation_from(origin).to_vec();
         let mut results = Vec::with_capacity(self.mempools.len());
         let mut order: Vec<NodeId> = self.mempools.keys().copied().collect();
         order.sort_unstable(); // deterministic admission order

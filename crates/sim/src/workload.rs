@@ -7,7 +7,7 @@
 //! but only once the parent was accepted by every stakeholder node —
 //! otherwise a miner that never saw the parent could mine an orphan child.
 
-use cn_chain::{Address, Amount, Block, Chain, FeeRate, OutPoint, Transaction, TxOut, Txid};
+use cn_chain::{Address, Amount, Block, Chain, FeeRate, OutPoint, Transaction, TxIn, TxOut, Txid};
 use cn_stats::{LogNormal, SimRng};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -258,13 +258,17 @@ impl Workload {
             _ => (pad, 0usize),
         };
 
-        // First pass to learn the exact vsize (amounts don't change size).
-        let draft = Transaction::builder()
-            .add_input_with_sizes(source_op.txid, source_op.vout, script_len, witness_len)
+        // The filler input hashes its padding into existence; build it once
+        // and share it between the sizing draft and the final transaction.
+        let input = TxIn::with_filler(source_op.txid, source_op.vout, script_len, witness_len);
+
+        // First pass to learn the exact vsize (amounts don't change size);
+        // the builder sizes the draft without hashing a throwaway txid.
+        let vsize = Transaction::builder()
+            .add_input(input.clone())
             .add_output(TxOut::to_address(Amount::from_sat(DUST), recipient))
             .add_output(TxOut::to_address(Amount::from_sat(DUST), source.owner))
-            .build();
-        let vsize = draft.vsize();
+            .vsize();
         let fee = fee_rate.fee_for_vsize(vsize);
 
         let available = source.value.to_sat();
@@ -278,7 +282,7 @@ impl Workload {
         let change = spendable - payment;
 
         let mut builder = Transaction::builder()
-            .add_input_with_sizes(source_op.txid, source_op.vout, script_len, witness_len)
+            .add_input(input)
             .add_output(TxOut::to_address(Amount::from_sat(payment), recipient));
         let has_change = change >= DUST;
         if has_change {

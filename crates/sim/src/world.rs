@@ -78,6 +78,9 @@ pub struct World {
     /// accepted everywhere so far).
     delivery_state: HashMap<Txid, (usize, bool)>,
     pool_picker: WeightedIndex,
+    /// Stakeholder nodes (observer + miner hubs), sorted and deduped once —
+    /// every broadcast fans out to exactly this set.
+    stakeholders: Vec<NodeId>,
     scam_address: Address,
     snapshot_counter: u64,
     /// Dedicated fault stream; forked unconditionally (forking never
@@ -224,6 +227,11 @@ impl World {
             truth.set_scam_address(scam_address);
         }
 
+        let mut stakeholders: Vec<NodeId> = network.observers();
+        stakeholders.extend(network.miner_hubs().iter().map(|(n, _)| *n));
+        stakeholders.sort_unstable();
+        stakeholders.dedup();
+
         World {
             estimator: FeeEstimator::new(12),
             scenario,
@@ -243,6 +251,7 @@ impl World {
             providers,
             delivery_state: HashMap::new(),
             pool_picker,
+            stakeholders,
             scam_address,
             snapshot_counter: 0,
             rng_fault,
@@ -326,7 +335,7 @@ impl World {
                                 pool.limit_size(cap);
                             }
                         }
-                        if let Some(pool) = self.network.mempool(self.observer) {
+                        if let Some(pool) = self.network.mempool_mut(self.observer) {
                             let mut snap = if detailed {
                                 pool.snapshot(now_secs)
                             } else {
@@ -533,14 +542,10 @@ impl World {
         // Issue from a random relay node (users are spread over the edge).
         let origin = self.rng_tx.next_below(self.relay_count as u64) as usize;
         let arrivals = self.network.propagation_from(origin);
-        let mut stakeholders: Vec<NodeId> = self.network.observers();
-        stakeholders.extend(self.network.miner_hubs().iter().map(|(n, _)| *n));
-        stakeholders.sort_unstable();
-        stakeholders.dedup();
         let link = self.scenario.faults.link;
         let mut expected = 0usize;
         let mut lost = 0usize;
-        for node in stakeholders {
+        for &node in &self.stakeholders {
             let delay_ms = (arrivals[node] * 1_000.0).round() as SimMillis;
             let at = now_ms + delay_ms.max(1);
             if link.enabled() {

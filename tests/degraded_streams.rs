@@ -151,7 +151,7 @@ proptest! {
             prop_assert!(cut.is_detailed());
             prop_assert!(cut.is_truncated());
             // Surviving entries are a subset of the original's.
-            for e in &cut.entries {
+            for e in cut.entries.iter() {
                 prop_assert!(snap.entries.contains(e));
             }
         } else {
