@@ -14,7 +14,7 @@ fn bench_audit(c: &mut Criterion) {
     let mut scenario = Scenario::base("audit-bench", 31);
     scenario.duration = 3 * 3_600;
     scenario.params.max_block_weight = 400_000;
-    scenario.congestion = cn_sim::profile::CongestionProfile::flat(1.2);
+    scenario.congestion = cn_sim::congestion::CongestionProfile::flat(1.2);
     scenario.self_interest_rate = 0.01;
     let sim = World::new(scenario).run();
     let index = ChainIndex::build(&sim.chain);

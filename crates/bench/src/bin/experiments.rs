@@ -24,9 +24,12 @@ use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Serial wall time of `experiments --quick all` on the reference machine,
-/// measured at the commit *before* this harness/hot-path overhaul. Kept
-/// here so `BENCH_pipeline.json` always records the trajectory's origin.
-const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 49.029;
+/// taken as the minimum of three `--serial` runs (the least contaminated
+/// figure on a noisy box). Re-measured after each hot-path overhaul so the
+/// recorded speedup compares against the *current* serial engine, not a
+/// stale one (the pre-overhaul origin was 49.029 s; the previous refresh
+/// read 17.1 s before the hardware-hash and scheduler work landed).
+const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 13.182;
 
 /// One experiment's outcome, produced by a worker thread.
 struct Slot {
@@ -61,11 +64,11 @@ fn main() {
         lab.prewarm();
     }
 
-    let workers = if serial {
-        1
-    } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(ids.len()).max(1)
-    };
+    // Detected once, recorded in BENCH_pipeline.json next to the count
+    // actually used — a 1-worker record on a 16-core box is a probe bug,
+    // not a measurement.
+    let detected = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = if serial { 1 } else { detected.min(ids.len()).max(1) };
 
     // Worker pool with order-preserving output: workers claim ids from a
     // shared counter and park finished reports in `slots`; the main thread
@@ -123,7 +126,9 @@ fn main() {
     });
 
     let total_wall = wall_started.elapsed().as_secs_f64();
-    if let Err(e) = write_bench_json(&lab, quick, serial, workers, &experiment_secs, total_wall) {
+    if let Err(e) =
+        write_bench_json(&lab, quick, serial, detected, workers, &experiment_secs, total_wall)
+    {
         eprintln!("warning: could not write BENCH_pipeline.json: {e}");
     }
     if failed {
@@ -136,7 +141,8 @@ fn write_bench_json(
     lab: &Lab,
     quick: bool,
     serial: bool,
-    workers: usize,
+    workers_detected: usize,
+    workers_used: usize,
     experiment_secs: &[(String, f64)],
     total_wall: f64,
 ) -> std::io::Result<()> {
@@ -144,7 +150,8 @@ fn write_bench_json(
     json.push_str("{\n");
     let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "full" });
     let _ = writeln!(json, "  \"mode\": \"{}\",", if serial { "serial" } else { "parallel" });
-    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"workers_detected\": {workers_detected},");
+    let _ = writeln!(json, "  \"workers_used\": {workers_used},");
     json.push_str("  \"dataset_sim_seconds\": {\n");
     let sim = lab.sim_seconds();
     for (i, name) in DATASET_NAMES.iter().enumerate() {
@@ -152,6 +159,36 @@ fn write_bench_json(
         match sim[i] {
             Some(secs) => {
                 let _ = writeln!(json, "    \"{name}\": {secs:.3}{comma}");
+            }
+            None => {
+                let _ = writeln!(json, "    \"{name}\": null{comma}");
+            }
+        }
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"sim_profile\": {\n");
+    let profiles = lab.sim_profiles();
+    for (i, name) in DATASET_NAMES.iter().enumerate() {
+        let comma = if i + 1 < DATASET_NAMES.len() { "," } else { "" };
+        match profiles[i] {
+            Some(p) => {
+                let _ = writeln!(json, "    \"{name}\": {{");
+                let _ = writeln!(json, "      \"events_popped\": {},", p.events_popped);
+                let _ = writeln!(json, "      \"events_per_sec\": {:.0},", p.events_per_sec());
+                let _ = writeln!(json, "      \"deliveries\": {},", p.deliveries);
+                let _ = writeln!(json, "      \"user_txs\": {},", p.user_txs);
+                let _ = writeln!(json, "      \"self_txs\": {},", p.self_txs);
+                let _ = writeln!(json, "      \"blocks\": {},", p.blocks);
+                let _ = writeln!(json, "      \"snapshot_ticks\": {},", p.snapshot_ticks);
+                let _ = writeln!(json, "      \"subsystem_seconds\": {{");
+                let _ = writeln!(json, "        \"issue\": {:.3},", p.issue);
+                let _ = writeln!(json, "        \"relay\": {:.3},", p.relay);
+                let _ = writeln!(json, "        \"faults\": {:.3},", p.faults);
+                let _ = writeln!(json, "        \"mempool\": {:.3},", p.mempool);
+                let _ = writeln!(json, "        \"assembly\": {:.3},", p.assembly);
+                let _ = writeln!(json, "        \"snapshot\": {:.3}", p.snapshot);
+                let _ = writeln!(json, "      }}");
+                let _ = writeln!(json, "    }}{comma}");
             }
             None => {
                 let _ = writeln!(json, "    \"{name}\": null{comma}");

@@ -5,7 +5,7 @@ use cn_core::report::Table;
 use cn_data::calibration::PAPER_FEE_SHARE_BY_YEAR;
 use cn_data::datasets::scaled_params;
 use cn_data::Scale;
-use cn_sim::profile::CongestionProfile;
+use cn_sim::congestion::CongestionProfile;
 use cn_sim::scenario::{PoolConfig, Scenario};
 use cn_sim::World;
 use cn_stats::Summary;

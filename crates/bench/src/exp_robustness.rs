@@ -91,6 +91,108 @@ fn precision_recall(
     (precision, recall)
 }
 
+/// One intensity level's finished measurements, produced on a worker
+/// thread and rendered serially so output stays byte-identical to the
+/// old one-sim-at-a-time loop.
+struct SweepRow {
+    cells: [String; 9],
+    /// Populated only for the last intensity: the 95 % coverage-floor demo.
+    floor_demo: Option<String>,
+}
+
+/// Runs one fault-intensity level end to end: simulate, audit, score both
+/// detector families. Pure function of its inputs, so levels can run on
+/// separate workers.
+fn sweep_level(
+    base: &Scenario,
+    truth: &HashSet<(String, String)>,
+    intensity: f64,
+    is_last: bool,
+) -> SweepRow {
+    let mut scenario = base.clone();
+    scenario.name = format!("robustness-{intensity:.2}");
+    scenario.faults = FaultPlan::scaled(intensity);
+    let sim = World::new(scenario).run();
+    let index = ChainIndex::build(&sim.chain);
+    let expectation = StreamExpectation::from_run(
+        sim.scenario.duration,
+        sim.scenario.snapshot_interval,
+        sim.scenario.snapshot_detail_every,
+    );
+
+    let (confidence, windows, detailed, pair_p, pair_r) = match audit_with_snapshots(
+        &sim.chain,
+        &index,
+        &sim.snapshots,
+        expectation,
+        sweep_config(),
+    ) {
+        Ok(report) => {
+            let cov = report.coverage.expect("snapshot audits carry coverage");
+            let (p, r) = precision_recall(&detected_pairs(&report.findings), truth);
+            (
+                format!("{:.3}", cov.confidence()),
+                format!("{}/{}", cov.present_windows, cov.expected_windows),
+                format!(
+                    "{}/{} ({})",
+                    cov.present_detailed, cov.expected_detailed, cov.truncated_detailed
+                ),
+                fmt_pct(p),
+                fmt_pct(r),
+            )
+        }
+        Err(e) => {
+            // With min_coverage = 0 this only fires on a totally dead
+            // observer; report it instead of crashing the sweep.
+            (format!("err: {e}"), "-".into(), "-".into(), "-".into(), "-".into())
+        }
+    };
+
+    // Dark-fee detection, scored against the provider's order book
+    // (BTC.com, as in Table 4) plus the simulator's labels.
+    let provider = "BTC.com";
+    let (dark_p, dark_r) = match sim
+        .pool_names
+        .iter()
+        .position(|n| n == provider)
+        .and_then(|i| sim.services[i].as_ref())
+    {
+        Some(service) => {
+            let service = service.lock();
+            let oracle = |t: &Txid| service.is_accelerated(t) || sim.truth.is_accelerated(t);
+            score_detector(&index, provider, DARKFEE_THRESHOLD, &oracle)
+        }
+        None => (0.0, 0.0),
+    };
+
+    // At the harshest level, show the refuse-to-report path: the same
+    // stream against a 95 % coverage floor.
+    let floor_demo = is_last.then(|| {
+        let strict = expectation.with_min_coverage(0.95);
+        match audit_with_snapshots(&sim.chain, &index, &sim.snapshots, strict, sweep_config()) {
+            Ok(_) => {
+                format!("coverage floor 0.95 at intensity {intensity:.2}: audit still passed")
+            }
+            Err(e) => format!("coverage floor 0.95 at intensity {intensity:.2}: refused — {e}"),
+        }
+    });
+
+    SweepRow {
+        cells: [
+            format!("{intensity:.2}"),
+            confidence,
+            windows,
+            detailed,
+            sim.orphaned_blocks.to_string(),
+            pair_p,
+            pair_r,
+            fmt_pct(dark_p),
+            fmt_pct(dark_r),
+        ],
+        floor_demo,
+    }
+}
+
 /// The robustness sweep: detector precision/recall vs fault intensity.
 pub fn robustness(lab: &Lab) -> String {
     // Dataset 𝒞's roster and misbehaviours, with the span trimmed at Full
@@ -135,95 +237,42 @@ pub fn robustness(lab: &Lab) -> String {
         "darkfee P",
         "darkfee R",
     ]);
+    // The five levels are independent sims over clones of the same base
+    // scenario, so they run on a claim-counter worker pool (one worker per
+    // available core, capped at the level count — oversubscribing a small
+    // box with five live worlds costs more in cache pressure than the
+    // overlap buys). Results land in per-level slots and are rendered in
+    // level order, so the table is byte-identical to a serial sweep.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(INTENSITIES.len());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<SweepRow>>> =
+        INTENSITIES.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= INTENSITIES.len() {
+                    break;
+                }
+                let is_last = i + 1 == INTENSITIES.len();
+                let row = sweep_level(&base, &truth, INTENSITIES[i], is_last);
+                *slots[i].lock().expect("sweep slot") = Some(row);
+            });
+        }
+    });
+    let rows: Vec<SweepRow> = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("sweep slot").expect("sweep level ran"))
+        .collect();
+
     let mut floor_demo = String::new();
-    for intensity in INTENSITIES {
-        let mut scenario = base.clone();
-        scenario.name = format!("robustness-{intensity:.2}");
-        scenario.faults = FaultPlan::scaled(intensity);
-        let sim = World::new(scenario).run();
-        let index = ChainIndex::build(&sim.chain);
-        let expectation = StreamExpectation::from_run(
-            sim.scenario.duration,
-            sim.scenario.snapshot_interval,
-            sim.scenario.snapshot_detail_every,
-        );
-
-        let (confidence, windows, detailed, pair_p, pair_r) = match audit_with_snapshots(
-            &sim.chain,
-            &index,
-            &sim.snapshots,
-            expectation,
-            sweep_config(),
-        ) {
-            Ok(report) => {
-                let cov = report.coverage.expect("snapshot audits carry coverage");
-                let (p, r) = precision_recall(&detected_pairs(&report.findings), &truth);
-                (
-                    format!("{:.3}", cov.confidence()),
-                    format!("{}/{}", cov.present_windows, cov.expected_windows),
-                    format!(
-                        "{}/{} ({})",
-                        cov.present_detailed, cov.expected_detailed, cov.truncated_detailed
-                    ),
-                    fmt_pct(p),
-                    fmt_pct(r),
-                )
-            }
-            Err(e) => {
-                // With min_coverage = 0 this only fires on a totally dead
-                // observer; report it instead of crashing the sweep.
-                (format!("err: {e}"), "-".into(), "-".into(), "-".into(), "-".into())
-            }
-        };
-
-        // Dark-fee detection, scored against the provider's order book
-        // (BTC.com, as in Table 4) plus the simulator's labels.
-        let provider = "BTC.com";
-        let (dark_p, dark_r) = match sim
-            .pool_names
-            .iter()
-            .position(|n| n == provider)
-            .and_then(|i| sim.services[i].as_ref())
-        {
-            Some(service) => {
-                let service = service.lock();
-                let oracle =
-                    |t: &Txid| service.is_accelerated(t) || sim.truth.is_accelerated(t);
-                score_detector(&index, provider, DARKFEE_THRESHOLD, &oracle)
-            }
-            None => (0.0, 0.0),
-        };
-
-        table.row(&[
-            format!("{intensity:.2}"),
-            confidence,
-            windows,
-            detailed,
-            sim.orphaned_blocks.to_string(),
-            pair_p,
-            pair_r,
-            fmt_pct(dark_p),
-            fmt_pct(dark_r),
-        ]);
-
-        // At the harshest level, show the refuse-to-report path: the same
-        // stream against a 95 % coverage floor.
-        if intensity == *INTENSITIES.last().expect("non-empty sweep") {
-            let strict = expectation.with_min_coverage(0.95);
-            floor_demo = match audit_with_snapshots(
-                &sim.chain,
-                &index,
-                &sim.snapshots,
-                strict,
-                sweep_config(),
-            ) {
-                Ok(_) => format!(
-                    "coverage floor 0.95 at intensity {intensity:.2}: audit still passed"
-                ),
-                Err(e) => format!(
-                    "coverage floor 0.95 at intensity {intensity:.2}: refused — {e}"
-                ),
-            };
+    for row in rows {
+        table.row(&row.cells);
+        if let Some(demo) = row.floor_demo {
+            floor_demo = demo;
         }
     }
     out.push_str(&table.render());

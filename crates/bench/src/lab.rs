@@ -3,7 +3,7 @@
 
 use cn_core::ChainIndex;
 use cn_data::{dataset_a, dataset_b, dataset_c, Scale};
-use cn_sim::{SimOutput, World};
+use cn_sim::{SimOutput, SimProfile, World};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -108,6 +108,16 @@ impl Lab {
             self.sim_seconds[0].get().copied(),
             self.sim_seconds[1].get().copied(),
             self.sim_seconds[2].get().copied(),
+        ]
+    }
+
+    /// Per-run simulator profiles (event counts, per-subsystem seconds),
+    /// in [`DATASET_NAMES`] order; `None` for datasets never requested.
+    pub fn sim_profiles(&self) -> [Option<SimProfile>; DATASET_COUNT] {
+        [
+            self.cells[0].get().map(|(out, _)| out.profile),
+            self.cells[1].get().map(|(out, _)| out.profile),
+            self.cells[2].get().map(|(out, _)| out.profile),
         ]
     }
 }

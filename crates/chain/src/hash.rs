@@ -133,14 +133,22 @@ impl Sha256 {
     /// Finishes the hash and returns the digest.
     pub fn finalize(mut self) -> Hash256 {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        // `update` bumped total_len for padding bytes; that is fine because we
-        // captured bit_len first.
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        // Pad in place: 0x80, zeros to the next 56-byte boundary, then the
+        // big-endian bit length — one or two compressions, no per-byte
+        // update calls.
+        let len = self.buf_len;
+        self.buf[len] = 0x80;
+        if len < 56 {
+            self.buf[len + 1..56].fill(0);
+        } else {
+            self.buf[len + 1..].fill(0);
+            let block = self.buf;
+            self.compress(&block);
+            self.buf[..56].fill(0);
         }
-        self.update(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buf_len, 0);
+        self.buf[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
@@ -149,6 +157,39 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
+        #[cfg(target_arch = "x86_64")]
+        if shani::available() {
+            // SAFETY-adjacent note: `available()` has verified the sha,
+            // sse2, ssse3 and sse4.1 CPUID bits that the accelerated
+            // routine's `#[target_feature]` contract requires.
+            shani::compress(&mut self.state, block);
+            return;
+        }
+        compress_scalar(&mut self.state, block);
+    }
+}
+
+/// Portable SHA-256 block compression — the reference implementation the
+/// hardware path is equivalence-tested against, and the only path on
+/// non-x86 targets.
+fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
+        // One round with the working variables in fixed registers; callers
+        // rotate the variable *roles* instead of shuffling eight registers
+        // per round (the textbook h=g; g=f; ... chain), which is the main
+        // scalar-SHA-256 speedup available without unsafe intrinsics.
+        macro_rules! round {
+            ($a:ident, $b:ident, $c:ident, $d:ident,
+             $e:ident, $f:ident, $g:ident, $h:ident, $kw:expr) => {{
+                let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+                let ch = ($e & $f) ^ (!$e & $g);
+                let t1 = $h.wrapping_add(s1).wrapping_add(ch).wrapping_add($kw);
+                let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+                let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(s0).wrapping_add(maj);
+            }};
+        }
+
         let mut w = [0u32; 64];
         for (i, word) in w.iter_mut().take(16).enumerate() {
             *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
@@ -161,35 +202,135 @@ impl Sha256 {
                 .wrapping_add(w[i - 7])
                 .wrapping_add(s1);
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+        let mut i = 0;
+        while i < 64 {
+            round!(a, b, c, d, e, f, g, h, K[i].wrapping_add(w[i]));
+            round!(h, a, b, c, d, e, f, g, K[i + 1].wrapping_add(w[i + 1]));
+            round!(g, h, a, b, c, d, e, f, K[i + 2].wrapping_add(w[i + 2]));
+            round!(f, g, h, a, b, c, d, e, K[i + 3].wrapping_add(w[i + 3]));
+            round!(e, f, g, h, a, b, c, d, K[i + 4].wrapping_add(w[i + 4]));
+            round!(d, e, f, g, h, a, b, c, K[i + 5].wrapping_add(w[i + 5]));
+            round!(c, d, e, f, g, h, a, b, K[i + 6].wrapping_add(w[i + 6]));
+            round!(b, c, d, e, f, g, h, a, K[i + 7].wrapping_add(w[i + 7]));
+            i += 8;
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+        state[5] = state[5].wrapping_add(f);
+        state[6] = state[6].wrapping_add(g);
+        state[7] = state[7].wrapping_add(h);
+}
+
+/// Hardware SHA-256 block compression via the x86 SHA extensions.
+///
+/// Transaction building is the simulator's hottest leaf: every filler byte,
+/// txid, and block hash funnels through [`Sha256::compress`], and the
+/// scalar rounds cap the whole experiment suite. This module is the one
+/// place the workspace uses `unsafe` — a handful of `core::arch`
+/// intrinsics behind a cached CPUID check, equivalence-tested against
+/// [`compress_scalar`] (which remains the specification) on every build.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod shani {
+    use super::K;
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_alignr_epi8, _mm_blend_epi16, _mm_loadu_si128,
+        _mm_set_epi64x, _mm_setzero_si128, _mm_sha256msg1_epu32, _mm_sha256msg2_epu32,
+        _mm_sha256rnds2_epu32, _mm_shuffle_epi32, _mm_shuffle_epi8, _mm_storeu_si128,
+    };
+    use std::sync::atomic::{AtomicU8, Ordering};
+
+    /// Cached CPUID probe: 0 = unknown, 1 = supported, 2 = unsupported.
+    static SUPPORT: AtomicU8 = AtomicU8::new(0);
+
+    /// True when the CPU advertises every feature [`compress`] relies on.
+    #[inline]
+    pub fn available() -> bool {
+        match SUPPORT.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let yes = std::arch::is_x86_feature_detected!("sha")
+                    && std::arch::is_x86_feature_detected!("sse2")
+                    && std::arch::is_x86_feature_detected!("ssse3")
+                    && std::arch::is_x86_feature_detected!("sse4.1");
+                SUPPORT.store(if yes { 1 } else { 2 }, Ordering::Relaxed);
+                yes
+            }
+        }
+    }
+
+    /// One SHA-256 compression over `block`, updating `state` in place.
+    ///
+    /// Follows Intel's reference sequence: the state lives in two
+    /// registers as (ABEF, CDGH); message quads rotate through four
+    /// registers with `sha256msg1`/`sha256msg2` extending the schedule.
+    /// `m[q % 4]` holds quad `q`'s final W words until quad `q + 4`
+    /// overwrites the slot (by then it holds the `msg1`-folded value the
+    /// extension consumes).
+    pub fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        debug_assert!(available());
+        // SAFETY: the dispatcher only calls this after `available()`
+        // confirmed the sha/sse2/ssse3/sse4.1 target features this
+        // function is compiled with; loads and stores go through
+        // unaligned intrinsics on slices of statically known length.
+        unsafe { compress_impl(state, block) }
+    }
+
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    unsafe fn compress_impl(state: &mut [u32; 8], block: &[u8; 64]) {
+        // Byte shuffle turning each 32-bit lane big-endian on load.
+        let be_mask = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0b, 0x0405_0607_0001_0203);
+
+        // Repack [a,b,c,d] / [e,f,g,h] into the (ABEF, CDGH) register pair
+        // the sha256rnds2 instruction operates on.
+        let abcd = _mm_loadu_si128(state.as_ptr().cast());
+        let efgh = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        let tmp = _mm_shuffle_epi32::<0xB1>(abcd);
+        let efgh = _mm_shuffle_epi32::<0x1B>(efgh);
+        let mut abef = _mm_alignr_epi8::<8>(tmp, efgh);
+        let mut cdgh = _mm_blend_epi16::<0xF0>(efgh, tmp);
+        let (save_abef, save_cdgh) = (abef, cdgh);
+
+        let mut m = [_mm_setzero_si128(); 4];
+        for q in 0..16 {
+            if q < 4 {
+                m[q] = _mm_shuffle_epi8(
+                    _mm_loadu_si128(block.as_ptr().add(16 * q).cast()),
+                    be_mask,
+                );
+            }
+            let k = _mm_loadu_si128(K.as_ptr().add(4 * q).cast());
+            let wk = _mm_add_epi32(m[q % 4], k);
+            cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+            abef = _mm_sha256rnds2_epu32(abef, cdgh, _mm_shuffle_epi32::<0x0E>(wk));
+            if (3..=14).contains(&q) {
+                // Extend the schedule one quad ahead: W quad q+1 from the
+                // msg1-folded quad q-3 (sitting in the slot about to be
+                // overwritten) plus the alignr-carried W[t-7] words.
+                let carry = _mm_alignr_epi8::<4>(m[q % 4], m[(q + 3) % 4]);
+                let folded = _mm_add_epi32(m[(q + 1) % 4], carry);
+                m[(q + 1) % 4] = _mm_sha256msg2_epu32(folded, m[q % 4]);
+            }
+            if (1..=12).contains(&q) {
+                // Fold sigma0 of quad q into quad q-1; consumed when the
+                // extension above reaches quad q+3.
+                m[(q + 3) % 4] = _mm_sha256msg1_epu32(m[(q + 3) % 4], m[q % 4]);
+            }
+        }
+
+        abef = _mm_add_epi32(abef, save_abef);
+        cdgh = _mm_add_epi32(cdgh, save_cdgh);
+        let tmp = _mm_shuffle_epi32::<0x1B>(abef);
+        let cdgh = _mm_shuffle_epi32::<0xB1>(cdgh);
+        let abcd = _mm_blend_epi16::<0xF0>(tmp, cdgh);
+        let efgh: __m128i = _mm_alignr_epi8::<8>(cdgh, tmp);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), abcd);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), efgh);
     }
 }
 
@@ -286,6 +427,39 @@ mod tests {
         assert_eq!(parsed, h);
         assert_eq!(Hash256::from_hex("xyz"), None);
         assert_eq!(Hash256::from_hex(&"0".repeat(63)), None);
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn hardware_compress_matches_scalar() {
+        if !shani::available() {
+            return; // nothing to cross-check on this machine
+        }
+        // Deterministic pseudo-random blocks and states: every compression
+        // the hardware path can take must agree with the portable
+        // reference bit for bit.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..500 {
+            let mut state = [0u32; 8];
+            for w in &mut state {
+                *w = next() as u32;
+            }
+            let mut block = [0u8; 64];
+            for chunk in block.chunks_mut(8) {
+                chunk.copy_from_slice(&next().to_le_bytes());
+            }
+            let mut hw = state;
+            let mut sw = state;
+            shani::compress(&mut hw, &block);
+            compress_scalar(&mut sw, &block);
+            assert_eq!(hw, sw);
+        }
     }
 
     #[test]

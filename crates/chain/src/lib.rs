@@ -27,7 +27,10 @@
 //! assert!(rate.sat_per_vbyte() > 1.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied by default; the single exception is `hash::shani`, the
+// CPUID-gated SHA-256 hardware path, which opts in locally and is
+// equivalence-tested against the portable implementation.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod address;

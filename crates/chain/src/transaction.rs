@@ -8,8 +8,8 @@
 use crate::address::Address;
 use crate::amount::Amount;
 use crate::encode::{
-    ensure_remaining, read_compact_size, read_var_bytes, write_compact_size, write_var_bytes,
-    Decodable, DecodeError, Encodable,
+    compact_size_len, ensure_remaining, read_compact_size, read_var_bytes, write_compact_size,
+    write_var_bytes, Decodable, DecodeError, Encodable,
 };
 use crate::hash::{sha256d, Hash256};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -289,6 +289,38 @@ fn encode_base_parts(
     buf.put_u32_le(lock_time);
 }
 
+/// Byte length [`encode_base_parts`] would produce, computed arithmetically
+/// from the compact-size rules — no serialization, no allocation.
+fn base_parts_len(inputs: &[TxIn], outputs: &[TxOut]) -> usize {
+    let mut len = 4 + compact_size_len(inputs.len() as u64);
+    for input in inputs {
+        len += 36 + compact_size_len(input.script_sig.len() as u64) + input.script_sig.len() + 4;
+    }
+    len += compact_size_len(outputs.len() as u64);
+    for output in outputs {
+        len += 8
+            + compact_size_len(output.script_pubkey.len() as u64)
+            + output.script_pubkey.len();
+    }
+    len + 4
+}
+
+/// Byte length [`encode_full_parts`] would produce.
+fn full_parts_len(inputs: &[TxIn], outputs: &[TxOut]) -> usize {
+    let base = base_parts_len(inputs, outputs);
+    if !inputs.iter().any(|i| i.has_witness()) {
+        return base;
+    }
+    let mut len = base + 2; // segwit marker + flag
+    for input in inputs {
+        len += compact_size_len(input.witness.len() as u64);
+        for item in &input.witness {
+            len += compact_size_len(item.len() as u64) + item.len();
+        }
+    }
+    len
+}
+
 /// Full (witness-carrying) serialization of a transaction's parts.
 fn encode_full_parts(
     version: i32,
@@ -459,15 +491,13 @@ impl TransactionBuilder {
     }
 
     /// BIP-141 weight of the transaction this builder would produce,
-    /// computed from the same serialization [`TransactionBuilder::build`]
-    /// hashes — but without computing txid/wtxid. Lets fee-sizing drafts
-    /// skip the double-SHA256 passes entirely.
+    /// computed arithmetically from the wire-format size rules — no
+    /// serialization and no hashing, so fee-sizing drafts cost a few
+    /// integer additions.
     pub fn weight(&self) -> u64 {
-        let mut base = BytesMut::new();
-        encode_base_parts(self.version, &self.inputs, &self.outputs, self.lock_time, &mut base);
-        let mut full = BytesMut::new();
-        encode_full_parts(self.version, &self.inputs, &self.outputs, self.lock_time, &mut full);
-        3 * base.len() as u64 + full.len() as u64
+        let base = base_parts_len(&self.inputs, &self.outputs);
+        let full = full_parts_len(&self.inputs, &self.outputs);
+        3 * base as u64 + full as u64
     }
 
     /// Virtual size the built transaction will have: `ceil(weight / 4)`.
@@ -486,13 +516,22 @@ impl TransactionBuilder {
             wtxid: Hash256::ZERO,
             weight: 0,
         };
-        let mut base = BytesMut::new();
+        let base_len = base_parts_len(&tx.inputs, &tx.outputs);
+        let mut base = BytesMut::with_capacity(base_len);
         tx.encode_base(&mut base);
-        let mut full = BytesMut::new();
-        tx.encode_full(&mut full);
+        debug_assert_eq!(base.len(), base_len);
         tx.txid = Txid(sha256d(&base));
-        tx.wtxid = if tx.has_witness() { sha256d(&full) } else { tx.txid.0 };
-        tx.weight = 3 * base.len() as u64 + full.len() as u64;
+        if tx.has_witness() {
+            let full_len = full_parts_len(&tx.inputs, &tx.outputs);
+            let mut full = BytesMut::with_capacity(full_len);
+            tx.encode_full(&mut full);
+            debug_assert_eq!(full.len(), full_len);
+            tx.wtxid = sha256d(&full);
+            tx.weight = 3 * base_len as u64 + full_len as u64;
+        } else {
+            tx.wtxid = tx.txid.0;
+            tx.weight = 4 * base_len as u64;
+        }
         tx
     }
 }
@@ -500,12 +539,12 @@ impl TransactionBuilder {
 /// Deterministic filler bytes: `seed`-derived, tagged, of exactly `len` bytes.
 fn filler_bytes(seed: Hash256, tag: u8, len: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
+    let mut input = [0u8; 37];
+    input[..32].copy_from_slice(seed.as_bytes());
+    input[32] = tag;
     let mut counter = 0u32;
     while out.len() < len {
-        let mut input = Vec::with_capacity(37);
-        input.extend_from_slice(seed.as_bytes());
-        input.push(tag);
-        input.extend_from_slice(&counter.to_le_bytes());
+        input[33..].copy_from_slice(&counter.to_le_bytes());
         let h = sha256d(&input);
         let take = (len - out.len()).min(32);
         out.extend_from_slice(&h.as_bytes()[..take]);
@@ -537,6 +576,27 @@ mod tests {
             let built = builder.build();
             assert_eq!(weight, built.weight(), "witness_len={witness_len}");
             assert_eq!(vsize, built.vsize(), "witness_len={witness_len}");
+        }
+    }
+
+    #[test]
+    fn arithmetic_lengths_match_encoders() {
+        // Cross the compact-size thresholds (0xfc/0xfd boundary) in both
+        // the script and witness dimensions.
+        for (sig_len, wit_len) in
+            [(0usize, 0usize), (107, 0), (107, 1), (252, 253), (300, 2_800), (70_000, 70_000)]
+        {
+            let tx = Transaction::builder()
+                .add_input_with_sizes([1u8; 32].into(), 0, sig_len, wit_len)
+                .pay_to(Address::p2pkh([2; 20]), Amount::from_sat(50_000))
+                .build();
+            let mut base = BytesMut::new();
+            tx.encode_base(&mut base);
+            assert_eq!(base_parts_len(tx.inputs(), tx.outputs()), base.len());
+            let mut full = BytesMut::new();
+            tx.encode_full(&mut full);
+            assert_eq!(full_parts_len(tx.inputs(), tx.outputs()), full.len());
+            assert_eq!(tx.weight(), 3 * base.len() as u64 + full.len() as u64);
         }
     }
 

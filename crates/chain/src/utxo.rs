@@ -136,6 +136,74 @@ impl UtxoSet {
         }
         Ok(fees)
     }
+
+    /// Read-only version of [`UtxoSet::apply_block_detailed`]: validates the
+    /// whole block against `self` plus an in-block overlay and returns the
+    /// same fees (or the same first error), without touching the set. The
+    /// overlay shadows the base set — `Some(value)` for outputs created in
+    /// the block, `None` for outputs it has spent — so in-block chains and
+    /// re-creations resolve exactly as a sequential apply would.
+    pub fn check_block_detailed(&self, block: &Block) -> Result<Vec<Amount>, UtxoError> {
+        let mut overlay: HashMap<OutPoint, Option<Amount>> = HashMap::new();
+        if let Some(cb) = block.coinbase() {
+            for (vout, output) in cb.outputs().iter().enumerate() {
+                overlay.insert(OutPoint::new(cb.txid(), vout as u32), Some(output.value));
+            }
+        }
+        let mut fees = Vec::with_capacity(block.body().len());
+        for tx in block.body() {
+            let mut in_value = Amount::ZERO;
+            for input in tx.inputs() {
+                let prev = match overlay.get(&input.prevout) {
+                    Some(Some(value)) => *value,
+                    Some(None) => return Err(UtxoError::MissingInput(input.prevout)),
+                    None => {
+                        self.utxos
+                            .get(&input.prevout)
+                            .ok_or(UtxoError::MissingInput(input.prevout))?
+                            .value
+                    }
+                };
+                in_value = in_value.checked_add(prev).ok_or(UtxoError::NegativeFee)?;
+            }
+            let fee = in_value
+                .checked_sub(tx.output_value())
+                .ok_or(UtxoError::NegativeFee)?;
+            // Same intra-tx double-spend scan as `apply_tx`, in the same
+            // position (after the fee computation).
+            for (i, a) in tx.inputs().iter().enumerate() {
+                for b in &tx.inputs()[i + 1..] {
+                    if a.prevout == b.prevout {
+                        return Err(UtxoError::DoubleSpend(a.prevout));
+                    }
+                }
+            }
+            for input in tx.inputs() {
+                overlay.insert(input.prevout, None);
+            }
+            for (vout, output) in tx.outputs().iter().enumerate() {
+                overlay.insert(OutPoint::new(tx.txid(), vout as u32), Some(output.value));
+            }
+            fees.push(fee);
+        }
+        Ok(fees)
+    }
+
+    /// Applies a block already validated by
+    /// [`UtxoSet::check_block_detailed`]: consumes inputs and inserts
+    /// outputs with no further checks. Calling this with an unchecked block
+    /// can corrupt the set.
+    pub fn commit_checked_block(&mut self, block: &Block) {
+        if let Some(cb) = block.coinbase() {
+            self.insert_outputs(cb);
+        }
+        for tx in block.body() {
+            for input in tx.inputs() {
+                self.utxos.remove(&input.prevout);
+            }
+            self.insert_outputs(tx);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +302,71 @@ mod tests {
         let fees = set.apply_block(&block).expect("valid block");
         assert_eq!(fees, Amount::from_sat(6_000));
         assert!(set.contains(&OutPoint::new(cb.txid(), 0)));
+    }
+
+    #[test]
+    fn check_then_commit_matches_apply() {
+        // The read-only check plus blind commit must land the set in the
+        // same state (and report the same fees) as the mutating apply.
+        let mut applied = UtxoSet::new();
+        let fund = funding_tx(100_000);
+        applied.insert_outputs(&fund);
+        let mut checked = applied.clone();
+
+        let parent = spend(&fund, 0, 90_000);
+        let child = spend(&parent, 0, 70_000);
+        let cb = CoinbaseBuilder::new(1)
+            .reward(Address::from_label("pool"), Amount::from_btc(6))
+            .build();
+        let block = Block::assemble(2, BlockHash::ZERO, 0, 0, cb, vec![parent, child]);
+
+        let fees_apply = applied.apply_block_detailed(&block).expect("valid block");
+        let fees_check = checked.check_block_detailed(&block).expect("valid block");
+        assert_eq!(fees_apply, fees_check);
+        checked.commit_checked_block(&block);
+        assert_eq!(applied.len(), checked.len());
+        for (op, _) in applied.utxos.iter() {
+            assert_eq!(applied.get(op).map(|o| o.value), checked.get(op).map(|o| o.value));
+        }
+    }
+
+    #[test]
+    fn check_block_reports_same_errors_as_apply() {
+        let mut set = UtxoSet::new();
+        let fund = funding_tx(100_000);
+        set.insert_outputs(&fund);
+        let cb = CoinbaseBuilder::new(1)
+            .reward(Address::from_label("pool"), Amount::from_btc(6))
+            .build();
+
+        // Sequential double spend inside the block: second tx sees a
+        // missing input, exactly like the mutating apply.
+        let t1 = spend(&fund, 0, 90_000);
+        let t2 = spend(&fund, 0, 80_000);
+        let block = Block::assemble(2, BlockHash::ZERO, 0, 0, cb.clone(), vec![t1, t2]);
+        let check_err = set.check_block_detailed(&block).unwrap_err();
+        let apply_err = set.clone().apply_block_detailed(&block).unwrap_err();
+        assert_eq!(check_err, apply_err);
+        assert!(matches!(check_err, UtxoError::MissingInput(_)));
+
+        // Negative fee.
+        let greedy = spend(&fund, 0, 200_000);
+        let block = Block::assemble(2, BlockHash::ZERO, 0, 0, cb.clone(), vec![greedy]);
+        assert_eq!(set.check_block_detailed(&block), Err(UtxoError::NegativeFee));
+
+        // Intra-tx double spend.
+        let dup = Transaction::builder()
+            .add_input_with_sizes(fund.txid(), 0, 107, 0)
+            .add_input_with_sizes(fund.txid(), 0, 107, 0)
+            .pay_to(Address::from_label("r"), Amount::from_sat(100))
+            .build();
+        let block = Block::assemble(2, BlockHash::ZERO, 0, 0, cb, vec![dup]);
+        assert!(matches!(
+            set.check_block_detailed(&block),
+            Err(UtxoError::DoubleSpend(_))
+        ));
+        // The read-only check never touched the set.
+        assert!(set.contains(&OutPoint::new(fund.txid(), 0)));
     }
 
     #[test]

@@ -108,9 +108,10 @@ pub fn connect_block(
     params: &Params,
 ) -> Result<Vec<Amount>, ValidationError> {
     check_block_stateless(block, params)?;
-    // Trial-apply on a clone so failures cannot corrupt the live set.
-    let mut trial = utxos.clone();
-    let tx_fees = trial.apply_block_detailed(block)?;
+    // Validate read-only against the live set plus an in-block overlay, so
+    // failures cannot corrupt it — without cloning the whole UTXO map the
+    // way the old trial-apply did.
+    let tx_fees = utxos.check_block_detailed(block)?;
     let fees: Amount = tx_fees.iter().copied().sum();
     let coinbase = block.coinbase().expect("checked by stateless validation");
     let allowed = params.subsidy_at(height) + fees;
@@ -120,7 +121,7 @@ pub fn connect_block(
             allowed,
         });
     }
-    *utxos = trial;
+    utxos.commit_checked_block(block);
     Ok(tx_fees)
 }
 

@@ -327,6 +327,94 @@ mod tests {
     }
 
     #[test]
+    fn cdq_matches_reference_under_adversarial_ties() {
+        // Tiny value domains make exact ties the rule, not the exception:
+        // with times drawn from {0, ε, 2ε, …}, fees from three values, and
+        // heights from two, almost every pair sits on a tie or exactly on
+        // the strict `t_i + ε < t_j` boundary — the regime where the
+        // Fenwick sweep's tie-breaking (queries before inserts at equal
+        // time, strict fee comparison) is easiest to get subtly wrong.
+        let mut state = 0x853c_49e6_748f_ea9bu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for eps in [0u64, 1, 7] {
+            for n in [2usize, 3, 5, 17, 128] {
+                let data: Vec<PairObservation> = (0..n)
+                    .map(|_| {
+                        // Times on the exact ε lattice; step 0 collapses
+                        // everything onto a single instant.
+                        let t = (next() % 4) * eps.max(1);
+                        obs(t, [10, 10, 20, 30][(next() % 4) as usize], 1 + next() % 2)
+                    })
+                    .collect();
+                assert_eq!(
+                    count_violations_cdq(&data, eps),
+                    count_violations_reference(&data, eps),
+                    "ties: n={n} eps={eps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cdq_matches_reference_with_epsilon_at_every_gap() {
+        // For a fixed pseudo-random set, sweep ε across every pairwise
+        // time gap and its ±1 neighbours, so each pair in turn flips from
+        // decided to undecided exactly at the strict boundary.
+        let mut state = 0xda3e_39cb_94b9_5bdbu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let data: Vec<PairObservation> =
+            (0..40).map(|_| obs(next() % 200, next() % 30, next() % 8)).collect();
+        let mut epsilons = vec![0u64];
+        for i in &data {
+            for j in &data {
+                let gap = j.received.saturating_sub(i.received);
+                epsilons.extend([gap.saturating_sub(1), gap, gap + 1]);
+            }
+        }
+        epsilons.sort_unstable();
+        epsilons.dedup();
+        for eps in epsilons {
+            assert_eq!(
+                count_violations_cdq(&data, eps),
+                count_violations_reference(&data, eps),
+                "eps={eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdq_handles_epsilon_saturation() {
+        // `t + ε` saturates instead of wrapping: with ε = u64::MAX no pair
+        // can satisfy the strict inequality, however the times tie.
+        let data =
+            [obs(0, 100, 5), obs(u64::MAX - 1, 50, 4), obs(u64::MAX, 70, 3), obs(3, 60, 2)];
+        for eps in [u64::MAX, u64::MAX - 1, u64::MAX / 2] {
+            let reference = count_violations_reference(&data, eps);
+            assert_eq!(count_violations_cdq(&data, eps), reference, "eps={eps}");
+        }
+        assert_eq!(count_violations_cdq(&data, u64::MAX).violating, 0);
+    }
+
+    #[test]
+    fn fully_degenerate_inputs() {
+        // All-identical observations: no pair has a strict fee or time
+        // edge, so nothing is a candidate whatever ε says.
+        let data = vec![obs(5, 10, 3); 50];
+        for eps in [0u64, 1, 100] {
+            let stats = count_violations_cdq(&data, eps);
+            assert_eq!(stats.candidates, 0);
+            assert_eq!(stats.violating, 0);
+            assert_eq!(stats, count_violations_reference(&data, eps));
+        }
+    }
+
+    #[test]
     fn empty_and_singleton() {
         assert_eq!(count_violations_cdq(&[], 0), PairStats::default());
         let one = [obs(0, 10, 1)];

@@ -19,7 +19,7 @@ use crate::pools::{roster_2019_a, roster_2019_b, roster_2020};
 use cn_chain::{Params, Timestamp};
 use cn_mempool::MempoolPolicy;
 use cn_net::FaultPlan;
-use cn_sim::profile::CongestionProfile;
+use cn_sim::congestion::CongestionProfile;
 use cn_sim::scenario::{PoolBehavior, ScamConfig, Scenario};
 
 /// How much simulated time to spend.

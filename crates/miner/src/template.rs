@@ -162,6 +162,15 @@ impl BlockAssembler {
         let mut rem: HashMap<Txid, (u64, u64)> = HashMap::new();
 
         for phase in [Priority::Accelerate, Priority::Normal, Priority::Decelerate] {
+            // A deviation phase with no transaction classified into it has
+            // no candidates — its heap would come up empty after a full
+            // blocked-status sweep of the mempool. Skipping it outright is
+            // bit-identical (the priority map is sparse: absent = Normal),
+            // and turns the common norm-following pool into a single-phase
+            // pass.
+            if phase != Priority::Normal && !priorities.values().any(|p| *p == phase) {
+                continue;
+            }
             self.select_phase_indexed(
                 mempool,
                 &priorities,

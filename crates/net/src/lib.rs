@@ -31,5 +31,5 @@ pub mod topology;
 
 pub use faults::{FaultPlan, LinkFaults, ObserverFaults};
 pub use latency::LatencyModel;
-pub use network::{Network, NodeId, NodeRole};
+pub use network::{Network, NodeId, NodeRole, RelayPayload};
 pub use topology::Topology;

@@ -2,7 +2,7 @@
 
 use crate::latency::LatencyModel;
 use crate::topology::Topology;
-use cn_chain::{Amount, Block, Timestamp, Transaction};
+use cn_chain::{Amount, Block, Timestamp, Transaction, Txid};
 use cn_mempool::{AcceptError, Mempool, MempoolPolicy};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
@@ -10,6 +10,28 @@ use std::sync::{Arc, OnceLock};
 
 /// Index of a node in the network.
 pub type NodeId = usize;
+
+/// A broadcast transaction's relay state, shared by every delivery it
+/// fans out to: the simulator allocates **one** `Arc<RelayPayload>` per
+/// broadcast and every per-node delivery event holds a handle, instead of
+/// cloning a transaction handle plus fee per delivery. The txid is
+/// captured once so delivery bookkeeping never re-reads the transaction.
+#[derive(Clone, Debug)]
+pub struct RelayPayload {
+    /// Cached transaction id.
+    pub txid: Txid,
+    /// The transaction body (shared; never copied per delivery).
+    pub tx: Arc<Transaction>,
+    /// The public fee the broadcast offers.
+    pub fee: Amount,
+}
+
+impl RelayPayload {
+    /// Wraps a transaction and its fee for relay.
+    pub fn new(tx: Arc<Transaction>, fee: Amount) -> RelayPayload {
+        RelayPayload { txid: tx.txid(), tx, fee }
+    }
+}
 
 /// What a node does.
 #[derive(Clone, Debug, PartialEq)]
@@ -49,6 +71,12 @@ pub struct Network {
     /// latencies never change after construction, so a cached single-source
     /// run stays valid for the network's lifetime.
     propagation: Vec<OnceLock<Vec<f64>>>,
+    /// Stakeholder nodes (every node owning a Mempool), sorted once for
+    /// deterministic admission order.
+    stakeholder_order: Vec<NodeId>,
+    /// Pooled arrival buffer reused across [`Network::broadcast_tx`] calls
+    /// so a broadcast never clones the cached propagation vector.
+    arrival_scratch: Vec<f64>,
 }
 
 /// Max-heap adapter for Dijkstra's min-priority queue over f64 distances.
@@ -99,7 +127,17 @@ impl Network {
             }
         }
         let propagation = (0..topology.len()).map(|_| OnceLock::new()).collect();
-        Network { topology, latency, roles, mempools, propagation }
+        let mut stakeholder_order: Vec<NodeId> = mempools.keys().copied().collect();
+        stakeholder_order.sort_unstable();
+        Network {
+            topology,
+            latency,
+            roles,
+            mempools,
+            propagation,
+            stakeholder_order,
+            arrival_scratch: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -188,20 +226,26 @@ impl Network {
         fee: Amount,
         when: Timestamp,
     ) -> Vec<(NodeId, Timestamp, Result<(), AcceptError>)> {
-        let arrivals = self.propagation_from(origin).to_vec();
-        let mut results = Vec::with_capacity(self.mempools.len());
-        let mut order: Vec<NodeId> = self.mempools.keys().copied().collect();
-        order.sort_unstable(); // deterministic admission order
-        for node in order {
+        // Reuse the pooled buffer: `propagation_from` borrows `self`
+        // immutably while the admission loop below needs `&mut`, so the
+        // arrivals are staged through a scratch vector that persists
+        // across broadcasts instead of a fresh clone per call.
+        let mut arrivals = std::mem::take(&mut self.arrival_scratch);
+        arrivals.clear();
+        arrivals.extend_from_slice(self.propagation_from(origin));
+        let mut results = Vec::with_capacity(self.stakeholder_order.len());
+        for i in 0..self.stakeholder_order.len() {
+            let node = self.stakeholder_order[i]; // sorted: deterministic admission order
             let arrival = when + arrivals[node].round() as Timestamp;
             let outcome = self
                 .mempools
                 .get_mut(&node)
-                .expect("key from map")
+                .expect("stakeholder has a mempool")
                 .add_shared(Arc::clone(&tx), fee, arrival)
                 .map(|_| ());
             results.push((node, arrival, outcome));
         }
+        self.arrival_scratch = arrivals;
         results
     }
 

@@ -6,8 +6,10 @@
 //! seeded scenario description:
 //!
 //! * [`event`] — a deterministic millisecond-resolution event queue.
-//! * [`profile`] — congestion profiles: base transaction rate, diurnal
+//! * [`congestion`] — congestion profiles: base transaction rate, diurnal
 //!   waves, and burst windows (dataset ℬ's June-2019 price-surge spikes).
+//! * [`profile`] — per-run profiling: event counts and per-subsystem
+//!   timings (observational only; never feeds back into the run).
 //! * [`workload`] — the user population: wallet/outpoint management, fee
 //!   bidding against a wallet-style estimator, CPFP chains, scam
 //!   donations, self-interest transfers, dark-fee acceleration demand.
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod congestion;
 pub mod event;
 pub mod profile;
 pub mod scenario;
@@ -29,7 +32,8 @@ pub mod truth;
 pub mod workload;
 pub mod world;
 
-pub use profile::CongestionProfile;
+pub use congestion::CongestionProfile;
+pub use profile::SimProfile;
 pub use scenario::{PoolBehavior, PoolConfig, ScamConfig, Scenario};
 pub use truth::GroundTruth;
 pub use world::{SimOutput, World};

@@ -1,6 +1,6 @@
 //! Scenario configuration: everything that varies between experiments.
 
-use crate::profile::CongestionProfile;
+use crate::congestion::CongestionProfile;
 use cn_chain::{Params, Timestamp};
 use cn_mempool::MempoolPolicy;
 use cn_net::FaultPlan;

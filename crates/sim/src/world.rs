@@ -1,21 +1,23 @@
 //! The simulation runner: turns a [`Scenario`] into a chain, a snapshot
 //! stream, and ground truth.
 
-use crate::event::{EventQueue, SimMillis};
+use crate::event::{BucketQueue, SimMillis};
+use crate::profile::SimProfile;
 use crate::scenario::{PoolBehavior, Scenario};
 use crate::truth::{GroundTruth, TxKind};
 use crate::workload::{BuiltTx, PaymentTarget, Workload};
-use cn_chain::{Address, Amount, Chain, FeeRate, Timestamp, Transaction, Txid};
+use cn_chain::{Address, Amount, Chain, FeeRate, Timestamp, Txid};
 use cn_mempool::{FeeEstimator, MempoolPolicy, MempoolSnapshot};
 use cn_miner::{
     AccelerationService, AddressAccelerationPolicy, CensorPolicy, CompositePolicy, DarkFeePolicy,
     MinerPolicy, MiningPool,
 };
-use cn_net::{LatencyModel, Network, NodeId, NodeRole, Topology};
+use cn_net::{LatencyModel, Network, NodeId, NodeRole, RelayPayload, Topology};
 use cn_stats::{Exponential, LogNormal, SimRng, WeightedIndex};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Everything a run produces; the audit layer consumes this.
 pub struct SimOutput {
@@ -37,6 +39,8 @@ pub struct SimOutput {
     /// Blocks found but lost to a stale-tip race (fault injection); they
     /// never entered the chain and are not in `block_miners`.
     pub orphaned_blocks: usize,
+    /// Where the run spent its time (observational; see [`SimProfile`]).
+    pub profile: SimProfile,
 }
 
 /// Internal event kinds.
@@ -45,10 +49,12 @@ enum Ev {
     IssueUserTx,
     /// A pool issues a transfer from its own wallet.
     IssueSelfTx(usize),
-    /// A transaction reaches a stakeholder node's Mempool. `counted` is
-    /// false for fault-injected duplicate deliveries, which must not
-    /// touch the delivery bookkeeping.
-    Deliver { node: NodeId, tx: Arc<Transaction>, fee: Amount, counted: bool },
+    /// A transaction reaches a stakeholder node's Mempool. The payload is
+    /// allocated once per broadcast and shared by every delivery (fault
+    /// duplicates included). `counted` is false for fault-injected
+    /// duplicate deliveries, which must not touch the delivery
+    /// bookkeeping.
+    Deliver { node: NodeId, payload: Arc<RelayPayload>, counted: bool },
     /// A block is found.
     MineBlock,
     /// The observer records a snapshot.
@@ -91,6 +97,7 @@ pub struct World {
     /// fault plan.
     downtime_ms: Vec<(SimMillis, SimMillis)>,
     orphaned_blocks: usize,
+    profile: SimProfile,
 }
 
 impl World {
@@ -257,13 +264,14 @@ impl World {
             rng_fault,
             downtime_ms,
             orphaned_blocks: 0,
+            profile: SimProfile::default(),
         }
     }
 
     /// Runs the scenario to completion and returns its artifacts.
     pub fn run(mut self) -> SimOutput {
         let horizon_ms: SimMillis = self.scenario.duration * 1_000;
-        let mut queue: EventQueue<Ev> = EventQueue::new();
+        let mut queue: BucketQueue<Ev> = BucketQueue::new();
 
         // Prime the schedule.
         if let Some(first) = self.next_user_arrival(0) {
@@ -285,12 +293,15 @@ impl World {
         queue.schedule(first_block.min(horizon_ms.saturating_sub(1)), Ev::MineBlock);
         queue.schedule(self.scenario.snapshot_interval * 1_000, Ev::Snapshot);
 
+        let run_started = Instant::now();
         while let Some((now_ms, ev)) = queue.pop() {
             if now_ms >= horizon_ms {
                 break;
             }
+            self.profile.events_popped += 1;
             match ev {
                 Ev::IssueUserTx => {
+                    self.profile.user_txs += 1;
                     self.issue_user_tx(now_ms, &mut queue);
                     if let Some(next) = self.next_user_arrival(now_ms) {
                         if next < horizon_ms {
@@ -299,17 +310,23 @@ impl World {
                     }
                 }
                 Ev::IssueSelfTx(pool) => {
+                    self.profile.self_txs += 1;
                     self.issue_self_tx(pool, now_ms, &mut queue);
                     let next = now_ms + self.self_tx_gap();
                     if next < horizon_ms {
                         queue.schedule(next, Ev::IssueSelfTx(pool));
                     }
                 }
-                Ev::Deliver { node, tx, fee, counted } => {
-                    self.deliver(node, tx, fee, now_ms, counted);
+                Ev::Deliver { node, payload, counted } => {
+                    let t = Instant::now();
+                    self.profile.deliveries += 1;
+                    self.deliver(node, &payload, now_ms, counted);
+                    SimProfile::credit(&mut self.profile.mempool, t.elapsed());
                 }
                 Ev::MineBlock => {
+                    let t = Instant::now();
                     self.mine_block(now_ms);
+                    SimProfile::credit(&mut self.profile.assembly, t.elapsed());
                     let gap = Exponential::with_mean(spacing as f64 * 1_000.0)
                         .sample(&mut self.rng_mine) as u64;
                     let next = now_ms + gap.max(1_000);
@@ -318,6 +335,8 @@ impl World {
                     }
                 }
                 Ev::Snapshot => {
+                    let t = Instant::now();
+                    self.profile.snapshot_ticks += 1;
                     let now_secs = now_ms / 1_000;
                     // An observer inside an outage window records nothing:
                     // the window is simply missing from the stream. The
@@ -355,9 +374,11 @@ impl World {
                     if next < horizon_ms {
                         queue.schedule(next, Ev::Snapshot);
                     }
+                    SimProfile::credit(&mut self.profile.snapshot, t.elapsed());
                 }
             }
         }
+        self.profile.wall = run_started.elapsed().as_secs_f64();
 
         SimOutput {
             pool_names: self.pools.iter().map(|p| p.name().to_string()).collect(),
@@ -368,6 +389,7 @@ impl World {
             block_miners: self.block_miners,
             services: self.services,
             orphaned_blocks: self.orphaned_blocks,
+            profile: self.profile,
         }
     }
 
@@ -437,7 +459,8 @@ impl World {
         FeeRate::from_sat_per_kvb(rate as u64)
     }
 
-    fn issue_user_tx(&mut self, now_ms: SimMillis, queue: &mut EventQueue<Ev>) {
+    fn issue_user_tx(&mut self, now_ms: SimMillis, queue: &mut BucketQueue<Ev>) {
+        let issue_started = Instant::now();
         let now_secs = now_ms / 1_000;
         // Scam donation?
         let is_scam = match (&self.scenario.scam, ()) {
@@ -475,6 +498,7 @@ impl World {
         let Some(built) =
             self.workload.build_payment(&mut self.rng_tx, None, target, fee_rate, allow_pending)
         else {
+            SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
             return; // no spendable output right now; skip this arrival
         };
         let kind = if is_scam { TxKind::Scam } else { TxKind::User };
@@ -496,13 +520,18 @@ impl World {
             );
         }
 
+        SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
         self.broadcast(built, now_ms, queue);
     }
 
-    fn issue_self_tx(&mut self, pool: usize, now_ms: SimMillis, queue: &mut EventQueue<Ev>) {
+    fn issue_self_tx(&mut self, pool: usize, now_ms: SimMillis, queue: &mut BucketQueue<Ev>) {
+        let issue_started = Instant::now();
         let now_secs = now_ms / 1_000;
-        let wallets = self.pools[pool].wallets().to_vec();
-        let from = wallets[self.rng_tx.next_below(wallets.len() as u64) as usize];
+        // Indexing after the draw keeps the wallet slice borrow disjoint
+        // from the RNG borrow — no per-issue wallet-list clone.
+        let wallet_count = self.pools[pool].wallets().len();
+        let pick = self.rng_tx.next_below(wallet_count as u64) as usize;
+        let from = self.pools[pool].wallets()[pick];
         // Pools mostly consolidate their own funds at rock-bottom fee
         // rates (they are not in a hurry — unless, of course, they
         // cheat); under congestion those transfers linger, which is
@@ -524,6 +553,7 @@ impl World {
             fee_rate,
             false,
         ) else {
+            SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
             return; // pool wallet has no confirmed funds yet
         };
         self.truth.record_issue(
@@ -532,17 +562,22 @@ impl World {
             now_secs,
             built.fee,
         );
+        SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
         self.broadcast(built, now_ms, queue);
     }
 
     /// Schedules per-stakeholder deliveries for a freshly issued tx,
     /// applying link faults (loss, spikes, reorder jitter, duplicates)
     /// when the scenario's fault plan enables them.
-    fn broadcast(&mut self, built: BuiltTx, now_ms: SimMillis, queue: &mut EventQueue<Ev>) {
+    fn broadcast(&mut self, built: BuiltTx, now_ms: SimMillis, queue: &mut BucketQueue<Ev>) {
+        let relay_started = Instant::now();
         // Issue from a random relay node (users are spread over the edge).
         let origin = self.rng_tx.next_below(self.relay_count as u64) as usize;
         let arrivals = self.network.propagation_from(origin);
         let link = self.scenario.faults.link;
+        // One shared payload for the whole fan-out; each delivery event
+        // (duplicates included) holds a handle, not a transaction clone.
+        let payload = Arc::new(RelayPayload::new(built.tx, built.fee));
         let mut expected = 0usize;
         let mut lost = 0usize;
         for &node in &self.stakeholders {
@@ -557,24 +592,19 @@ impl World {
                 expected += 1;
                 queue.schedule(
                     at,
-                    Ev::Deliver { node, tx: Arc::clone(&built.tx), fee: built.fee, counted: true },
+                    Ev::Deliver { node, payload: Arc::clone(&payload), counted: true },
                 );
                 if let Some(trail) = link.sample_duplicate(&mut self.rng_fault) {
                     queue.schedule(
                         at + trail,
-                        Ev::Deliver {
-                            node,
-                            tx: Arc::clone(&built.tx),
-                            fee: built.fee,
-                            counted: false,
-                        },
+                        Ev::Deliver { node, payload: Arc::clone(&payload), counted: false },
                     );
                 }
             } else {
                 expected += 1;
                 queue.schedule(
                     at,
-                    Ev::Deliver { node, tx: Arc::clone(&built.tx), fee: built.fee, counted: true },
+                    Ev::Deliver { node, payload: Arc::clone(&payload), counted: true },
                 );
             }
         }
@@ -585,19 +615,16 @@ impl World {
         // spending them could reach a miner that cannot package the
         // parent, and the resulting block would be consensus-invalid.
         if expected > 0 {
-            self.delivery_state.insert(built.tx.txid(), (expected, lost == 0));
+            self.delivery_state.insert(payload.txid, (expected, lost == 0));
         }
+        // With link faults on, this path is dominated by the per-delivery
+        // fault draws — attribute it to the faults subsystem.
+        let slot = if link.enabled() { &mut self.profile.faults } else { &mut self.profile.relay };
+        SimProfile::credit(slot, relay_started.elapsed());
     }
 
-    fn deliver(
-        &mut self,
-        node: NodeId,
-        tx: Arc<Transaction>,
-        fee: Amount,
-        now_ms: SimMillis,
-        counted: bool,
-    ) {
-        let txid = tx.txid();
+    fn deliver(&mut self, node: NodeId, payload: &RelayPayload, now_ms: SimMillis, counted: bool) {
+        let txid = payload.txid;
         let now_secs = now_ms / 1_000;
         // A transaction can be confirmed while still in flight to slower
         // nodes; real nodes check the chain on admission and drop such
@@ -606,7 +633,9 @@ impl World {
             true
         } else {
             match self.network.mempool_mut(node) {
-                Some(pool) => pool.add_shared(tx, fee, now_secs).is_ok(),
+                Some(pool) => {
+                    pool.add_shared(Arc::clone(&payload.tx), payload.fee, now_secs).is_ok()
+                }
                 None => false,
             }
         };
@@ -692,6 +721,7 @@ impl World {
         self.workload.on_block_confirmed(&block);
         self.network.apply_block(&block);
         self.block_miners.push(idx);
+        self.profile.blocks += 1;
         // Reclaim delivery bookkeeping for just-confirmed transactions.
         // Any still-in-flight delivery of these finds the tx on chain and
         // counts as accepted, and `mark_broadcast_ok` after confirmation
@@ -715,7 +745,7 @@ mod tests {
         let mut s = Scenario::base("world-test", seed);
         s.duration = 2 * 3_600;
         s.users = 60;
-        s.congestion = crate::profile::CongestionProfile::flat(0.8);
+        s.congestion = crate::congestion::CongestionProfile::flat(0.8);
         // Small blocks so contention exists even in a short run.
         s.params.max_block_weight = 200_000;
         s

@@ -15,7 +15,7 @@ fn main() {
     let mut scenario = Scenario::base("dark-fee", 1337);
     scenario.duration = 4 * 3_600;
     scenario.params.max_block_weight = 400_000;
-    scenario.congestion = chain_neutrality::sim::profile::CongestionProfile::flat(0.6);
+    scenario.congestion = chain_neutrality::sim::congestion::CongestionProfile::flat(0.6);
     scenario.pools = vec![
         PoolConfig::honest("BigPool", 0.5, 2),
         PoolConfig::honest("Accelerator", 0.3, 1)

@@ -12,7 +12,7 @@ fn main() {
     let mut scenario = Scenario::base("quickstart", 42);
     scenario.duration = 16 * 3_600; // sixteen hours of simulated time
     scenario.params.max_block_weight = 400_000; // 100 kvB blocks
-    scenario.congestion = chain_neutrality::sim::profile::CongestionProfile::flat(0.85);
+    scenario.congestion = chain_neutrality::sim::congestion::CongestionProfile::flat(0.85);
     scenario.self_interest_rate = 0.01;
     scenario.pools = vec![
         PoolConfig::honest("Honest-A", 0.45, 2),

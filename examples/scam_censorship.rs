@@ -14,7 +14,7 @@ fn run_world(censor: bool) -> (SimOutput, ChainIndex) {
     let mut scenario = Scenario::base(if censor { "censoring" } else { "neutral" }, 2020);
     scenario.duration = 4 * 3_600;
     scenario.params.max_block_weight = 400_000;
-    scenario.congestion = chain_neutrality::sim::profile::CongestionProfile::flat(0.55);
+    scenario.congestion = chain_neutrality::sim::congestion::CongestionProfile::flat(0.55);
     scenario.pools = vec![
         PoolConfig::honest("Moralist", 0.45, 2),
         PoolConfig::honest("Neutral-1", 0.30, 1),

@@ -6,7 +6,7 @@ use chain_neutrality::audit::self_interest::{
     find_self_interest_transactions, self_interest_txids,
 };
 use chain_neutrality::prelude::*;
-use chain_neutrality::sim::profile::CongestionProfile;
+use chain_neutrality::sim::congestion::CongestionProfile;
 
 /// A congested three-pool world; `misbehave` controls whether pool
 /// "Target" self-accelerates.
