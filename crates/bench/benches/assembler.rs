@@ -73,7 +73,7 @@ fn bench_assembler(c: &mut Criterion) {
     let params = Params { max_block_weight: 400_000, ..Params::mainnet() };
     for n in [1_000usize, 5_000] {
         let pool = build_pool(n, 99);
-        let assembler = BlockAssembler::new(params.clone());
+        let mut assembler = BlockAssembler::new(params.clone());
         group.bench_with_input(BenchmarkId::new("gbt_package_aware", n), &pool, |b, pool| {
             b.iter(|| black_box(assembler.assemble(pool, |_| Priority::Normal)))
         });

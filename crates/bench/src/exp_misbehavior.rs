@@ -10,7 +10,6 @@ use cn_core::attribute;
 use cn_chain::Txid;
 use cn_miner::acceleration::fee_multiple;
 use cn_stats::{Ecdf, SimRng, Summary};
-use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Figure 8: (a) reward-wallet inventories per pool; (b) inferred
@@ -127,7 +126,7 @@ pub fn table2(lab: &Lab) -> String {
 pub fn table3(lab: &Lab) -> String {
     let (sim, index) = lab.c();
     let attribution = attribute(index);
-    let scam_txids: HashSet<Txid> = sim.truth.scam_txids();
+    let scam_txids = sim.truth.scam_txids();
     let mut out = String::new();
     let _ = writeln!(out, "Table 3 — differential prioritization of scam payments");
     let _ = writeln!(out, "(paper: no statistically significant evidence in either direction)\n");

@@ -25,7 +25,7 @@ use cn_core::{audit_with_snapshots, AuditConfig, ChainIndex, Finding, StreamExpe
 use cn_data::{dataset_c, Scale};
 use cn_net::FaultPlan;
 use cn_sim::scenario::{PoolBehavior, Scenario};
-use cn_sim::World;
+use cn_sim::WorldCheckpoint;
 use std::collections::HashSet;
 use std::fmt::Write as _;
 
@@ -104,6 +104,7 @@ struct SweepRow {
 /// detector families. Pure function of its inputs, so levels can run on
 /// separate workers.
 fn sweep_level(
+    checkpoint: &WorldCheckpoint,
     base: &Scenario,
     truth: &HashSet<(String, String)>,
     intensity: f64,
@@ -112,7 +113,7 @@ fn sweep_level(
     let mut scenario = base.clone();
     scenario.name = format!("robustness-{intensity:.2}");
     scenario.faults = FaultPlan::scaled(intensity);
-    let sim = World::new(scenario).run();
+    let sim = checkpoint.fork(scenario).run();
     let index = ChainIndex::build(&sim.chain);
     let expectation = StreamExpectation::from_run(
         sim.scenario.duration,
@@ -203,6 +204,11 @@ pub fn robustness(lab: &Lab) -> String {
         base.duration = 48 * 3_600;
     }
     let truth = truth_pairs(&base);
+    // Fork-and-replay: the five levels differ only in fault plan and
+    // name, so topology sampling and chain/workload funding are built
+    // once here and forked per level (bit-identical to five fresh
+    // constructions — see `WorldCheckpoint`).
+    let checkpoint = WorldCheckpoint::new(&base);
 
     let mut out = String::new();
     let _ = writeln!(out, "Robustness — detector quality vs injected-fault intensity");
@@ -258,7 +264,7 @@ pub fn robustness(lab: &Lab) -> String {
                     break;
                 }
                 let is_last = i + 1 == INTENSITIES.len();
-                let row = sweep_level(&base, &truth, INTENSITIES[i], is_last);
+                let row = sweep_level(&checkpoint, &base, &truth, INTENSITIES[i], is_last);
                 *slots[i].lock().expect("sweep slot") = Some(row);
             });
         }

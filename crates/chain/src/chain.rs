@@ -6,7 +6,7 @@ use crate::params::Params;
 use crate::transaction::Txid;
 use crate::utxo::UtxoSet;
 use crate::validation::{connect_block, ValidationError};
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 use std::fmt;
 
 /// Errors from extending a [`Chain`].
@@ -67,8 +67,8 @@ pub struct Chain {
     params: Params,
     blocks: Vec<Block>,
     records: Vec<BlockRecord>,
-    by_hash: HashMap<BlockHash, u64>,
-    tx_index: HashMap<Txid, u64>,
+    by_hash: FastMap<BlockHash, u64>,
+    tx_index: FastMap<Txid, u64>,
     utxos: UtxoSet,
     seeds: Vec<crate::transaction::Transaction>,
 }

@@ -40,6 +40,7 @@ pub mod block;
 pub mod chain;
 pub mod coinbase;
 pub mod encode;
+pub mod fasthash;
 pub mod feerate;
 pub mod hash;
 pub mod merkle;
@@ -54,6 +55,7 @@ pub use block::{Block, BlockHash, Header};
 pub use chain::{Chain, ChainError};
 pub use coinbase::{CoinbaseBuilder, PoolMarker};
 pub use encode::{Decodable, Encodable};
+pub use fasthash::{DigestHashBuilder, DigestHasher, FastMap, FastSet};
 pub use feerate::FeeRate;
 pub use hash::{sha256, sha256d, Hash256};
 pub use merkle::merkle_root;

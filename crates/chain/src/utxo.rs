@@ -3,7 +3,7 @@
 use crate::amount::Amount;
 use crate::block::Block;
 use crate::transaction::{OutPoint, Transaction, TxOut};
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 use std::fmt;
 
 /// Errors from applying transactions to the UTXO set.
@@ -32,7 +32,7 @@ impl std::error::Error for UtxoError {}
 /// An in-memory UTXO set.
 #[derive(Clone, Debug, Default)]
 pub struct UtxoSet {
-    utxos: HashMap<OutPoint, TxOut>,
+    utxos: FastMap<OutPoint, TxOut>,
 }
 
 impl UtxoSet {
@@ -144,7 +144,7 @@ impl UtxoSet {
     /// the block, `None` for outputs it has spent — so in-block chains and
     /// re-creations resolve exactly as a sequential apply would.
     pub fn check_block_detailed(&self, block: &Block) -> Result<Vec<Amount>, UtxoError> {
-        let mut overlay: HashMap<OutPoint, Option<Amount>> = HashMap::new();
+        let mut overlay: FastMap<OutPoint, Option<Amount>> = FastMap::default();
         if let Some(cb) = block.coinbase() {
             for (vout, output) in cb.outputs().iter().enumerate() {
                 overlay.insert(OutPoint::new(cb.txid(), vout as u32), Some(output.value));

@@ -15,9 +15,8 @@ use crate::ppe::ppe_by_miner;
 use crate::prioritization::{differential_prioritization, DifferentialTest};
 use crate::self_interest::find_self_interest_transactions;
 use crate::sppe::sppe_for_miner;
-use cn_chain::{Chain, Txid};
+use cn_chain::{Chain, FastSet, Txid};
 use cn_mempool::MempoolSnapshot;
-use std::collections::HashSet;
 use std::fmt;
 
 /// Audit parameters.
@@ -200,7 +199,7 @@ pub fn audit_chain(chain: &Chain, index: &ChainIndex, config: AuditConfig) -> Au
         if c_txids.len() < config.min_c_txs {
             continue;
         }
-        let c_txids: HashSet<Txid> = c_txids.clone();
+        let c_txids: FastSet<Txid> = c_txids.clone();
         for miner in attribution.top(config.top_k) {
             let Some(theta0) = attribution.hash_rate(&miner.name) else { continue };
             let test = differential_prioritization(index, &c_txids, &miner.name, theta0);

@@ -2,9 +2,8 @@
 
 use crate::delay::first_seen_times;
 use crate::error::AuditError;
-use cn_chain::{Timestamp, Txid};
+use cn_chain::{FastMap, Timestamp, Txid};
 use cn_mempool::MempoolSnapshot;
-use std::collections::HashMap;
 
 /// The Mempool-size time series in vbytes (Figures 3c and 9).
 pub fn size_series(snapshots: &[MempoolSnapshot]) -> Vec<(Timestamp, u64)> {
@@ -41,7 +40,7 @@ pub fn fee_rates_by_congestion(
     block_capacity: u64,
 ) -> [Vec<f64>; 4] {
     let first = first_seen_times(snapshots);
-    let mut assigned: HashMap<Txid, (usize, f64)> = HashMap::new();
+    let mut assigned: FastMap<Txid, (usize, f64)> = FastMap::default();
     for snap in snapshots {
         let bin = snap.congestion_bin(block_capacity);
         for entry in snap.entries.iter() {

@@ -10,7 +10,7 @@
 
 use crate::index::ChainIndex;
 use cn_mempool::MempoolSnapshot;
-use std::collections::HashSet;
+use cn_chain::FastSet;
 
 /// How complete a snapshot stream is relative to what the observer was
 /// supposed to record, plus how much of the confirmed chain it saw.
@@ -48,7 +48,7 @@ impl SnapshotCoverage {
         let detailed: Vec<&MempoolSnapshot> =
             snapshots.iter().filter(|s| s.is_detailed()).collect();
         let truncated_detailed = detailed.iter().filter(|s| s.is_truncated()).count() as u64;
-        let observed: HashSet<_> =
+        let observed: FastSet<_> =
             detailed.iter().flat_map(|s| s.entries.iter().map(|e| e.txid)).collect();
         SnapshotCoverage {
             expected_windows,
@@ -65,7 +65,7 @@ impl SnapshotCoverage {
     /// Fills the chain-side fields: how many confirmed transactions the
     /// stream saw pending before they committed.
     pub fn with_chain(mut self, snapshots: &[MempoolSnapshot], index: &ChainIndex) -> Self {
-        let observed: HashSet<_> = snapshots
+        let observed: FastSet<_> = snapshots
             .iter()
             .filter(|s| s.is_detailed())
             .flat_map(|s| s.entries.iter().map(|e| e.txid))

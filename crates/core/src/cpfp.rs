@@ -1,13 +1,12 @@
 //! Child-pays-for-parent detection, per the paper's §E definition.
 
-use cn_chain::{Block, Txid};
-use std::collections::HashSet;
+use cn_chain::{Block, FastSet, Txid};
 
 /// Returns the txids in `block` that are CPFP transactions per §E: a
 /// transaction is CPFP iff at least one of its inputs spends an output of
 /// another transaction included in the *same* block.
-pub fn cpfp_txids_in_block(block: &Block) -> HashSet<Txid> {
-    let in_block: HashSet<Txid> = block.body().iter().map(|t| t.txid()).collect();
+pub fn cpfp_txids_in_block(block: &Block) -> FastSet<Txid> {
+    let in_block: FastSet<Txid> = block.body().iter().map(|t| t.txid()).collect();
     block
         .body()
         .iter()
@@ -58,7 +57,7 @@ mod tests {
         let c = tx(2);
         let block = Block::assemble(2, BlockHash::ZERO, 0, 0, coinbase(), vec![a.clone(), b.clone(), c]);
         let cpfp = cpfp_txids_in_block(&block);
-        assert_eq!(cpfp, HashSet::from([b.txid()]));
+        assert_eq!(cpfp, FastSet::from_iter([b.txid()]));
         assert!((cpfp_fraction(&block) - 1.0 / 3.0).abs() < 1e-12);
     }
 

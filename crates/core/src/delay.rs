@@ -7,7 +7,7 @@
 
 use crate::error::AuditError;
 use crate::index::ChainIndex;
-use cn_chain::{FeeRate, Timestamp, Txid};
+use cn_chain::{FastMap, FeeRate, Timestamp, Txid};
 use cn_mempool::MempoolSnapshot;
 use std::collections::HashMap;
 
@@ -17,7 +17,7 @@ use std::collections::HashMap;
 /// silently maps to an empty join — from a genuinely empty result.
 pub fn first_seen_times_checked(
     snapshots: &[MempoolSnapshot],
-) -> Result<HashMap<Txid, Timestamp>, AuditError> {
+) -> Result<FastMap<Txid, Timestamp>, AuditError> {
     if snapshots.is_empty() {
         return Err(AuditError::EmptySnapshotStream);
     }
@@ -28,8 +28,8 @@ pub fn first_seen_times_checked(
 }
 
 /// First time each transaction was observed across a snapshot stream.
-pub fn first_seen_times(snapshots: &[MempoolSnapshot]) -> HashMap<Txid, Timestamp> {
-    let mut map: HashMap<Txid, Timestamp> = HashMap::new();
+pub fn first_seen_times(snapshots: &[MempoolSnapshot]) -> FastMap<Txid, Timestamp> {
+    let mut map: FastMap<Txid, Timestamp> = FastMap::default();
     for snap in snapshots {
         for entry in snap.entries.iter() {
             map.entry(entry.txid)
@@ -56,7 +56,7 @@ pub struct DelayRecord {
 /// Computes block delays for every observed transaction that confirmed.
 pub fn commit_delays(
     index: &ChainIndex,
-    first_seen: &HashMap<Txid, Timestamp>,
+    first_seen: &FastMap<Txid, Timestamp>,
 ) -> Vec<DelayRecord> {
     let block_times = index.block_times();
     let mut out = Vec::with_capacity(first_seen.len());
@@ -174,7 +174,7 @@ mod tests {
         let (chain, txids) = chain_three_blocks();
         let index = ChainIndex::build(&chain);
         // Seen at t=0, committed in block 0 (time 600): delay 1.
-        let mut seen = HashMap::new();
+        let mut seen = FastMap::default();
         seen.insert(txids[0], 0);
         let delays = commit_delays(&index, &seen);
         assert_eq!(delays.len(), 1);
@@ -186,7 +186,7 @@ mod tests {
         let (chain, txids) = chain_three_blocks();
         let index = ChainIndex::build(&chain);
         // Seen at t=0 but committed only in block 2 (two blocks passed by).
-        let mut seen = HashMap::new();
+        let mut seen = FastMap::default();
         seen.insert(txids[2], 0);
         let delays = commit_delays(&index, &seen);
         assert_eq!(delays[0].blocks, 3);
@@ -197,7 +197,7 @@ mod tests {
         let (chain, txids) = chain_three_blocks();
         let index = ChainIndex::build(&chain);
         // Seen at t=700 (after block 0 at 600), committed in block 1: delay 1.
-        let mut seen = HashMap::new();
+        let mut seen = FastMap::default();
         seen.insert(txids[1], 700);
         let delays = commit_delays(&index, &seen);
         assert_eq!(delays[0].blocks, 1);
@@ -207,7 +207,7 @@ mod tests {
     fn unconfirmed_observations_skipped() {
         let (chain, _) = chain_three_blocks();
         let index = ChainIndex::build(&chain);
-        let mut seen = HashMap::new();
+        let mut seen = FastMap::default();
         seen.insert(Txid::from([0xdd; 32]), 0);
         assert!(commit_delays(&index, &seen).is_empty());
     }

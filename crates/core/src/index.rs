@@ -2,8 +2,7 @@
 //! metric consumes.
 
 use crate::cpfp::cpfp_txids_in_block;
-use cn_chain::{Address, Amount, BlockHash, Chain, FeeRate, PoolMarker, Timestamp, Txid};
-use std::collections::HashMap;
+use cn_chain::{Address, Amount, BlockHash, Chain, FastMap, FeeRate, PoolMarker, Timestamp, Txid};
 
 /// Per-transaction audit facts.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -63,7 +62,7 @@ impl BlockInfo {
 #[derive(Clone, Debug, Default)]
 pub struct ChainIndex {
     blocks: Vec<BlockInfo>,
-    by_txid: HashMap<Txid, (u64, u32)>,
+    by_txid: FastMap<Txid, (u64, u32)>,
 }
 
 impl ChainIndex {
@@ -74,7 +73,7 @@ impl ChainIndex {
     /// impossible for a chain built through [`Chain::connect`].
     pub fn build(chain: &Chain) -> ChainIndex {
         let mut blocks = Vec::with_capacity(chain.blocks().len());
-        let mut by_txid = HashMap::new();
+        let mut by_txid = FastMap::default();
         for (block, record) in chain.blocks().iter().zip(chain.records()) {
             assert_eq!(
                 record.tx_fees.len(),

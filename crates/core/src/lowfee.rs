@@ -7,9 +7,9 @@
 //! module runs the same analysis against a snapshot stream and chain.
 
 use crate::index::ChainIndex;
-use cn_chain::{FeeRate, Txid};
+use cn_chain::{FastSet, FeeRate, Txid};
 use cn_mempool::MempoolSnapshot;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 
 /// The §4.2.3 report.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -44,7 +44,7 @@ pub fn low_fee_report(
     index: &ChainIndex,
     floor: FeeRate,
 ) -> LowFeeReport {
-    let mut seen: HashSet<Txid> = HashSet::new();
+    let mut seen: FastSet<Txid> = FastSet::default();
     let mut report = LowFeeReport::default();
     for snap in snapshots {
         for entry in snap.entries.iter() {

@@ -7,9 +7,8 @@
 //! (deceleration) rejects that null.
 
 use crate::index::ChainIndex;
-use cn_chain::Txid;
+use cn_chain::{FastSet, Txid};
 use cn_stats::{binomial_test, fisher_combine, Tail};
-use std::collections::HashSet;
 
 /// The full §5.1 test result for one miner and one transaction set — one
 /// row of Table 2/3.
@@ -42,7 +41,7 @@ impl DifferentialTest {
 }
 
 /// Heights of blocks containing at least one c-transaction.
-fn c_block_heights(index: &ChainIndex, c_txids: &HashSet<Txid>) -> Vec<u64> {
+fn c_block_heights(index: &ChainIndex, c_txids: &FastSet<Txid>) -> Vec<u64> {
     let mut heights: Vec<u64> = c_txids
         .iter()
         .filter_map(|t| index.locate(t).map(|(h, _)| h))
@@ -56,7 +55,7 @@ fn c_block_heights(index: &ChainIndex, c_txids: &HashSet<Txid>) -> Vec<u64> {
 /// chain.
 pub fn differential_prioritization(
     index: &ChainIndex,
-    c_txids: &HashSet<Txid>,
+    c_txids: &FastSet<Txid>,
     miner: &str,
     theta0: f64,
 ) -> DifferentialTest {
@@ -89,7 +88,7 @@ pub fn differential_prioritization(
 /// skipped. Returns `None` when no window had any c-block.
 pub fn windowed_prioritization(
     index: &ChainIndex,
-    c_txids: &HashSet<Txid>,
+    c_txids: &FastSet<Txid>,
     miner: &str,
     windows: usize,
 ) -> Option<DifferentialTest> {
@@ -160,7 +159,7 @@ mod tests {
 
     /// Builds a chain where every block contains one marked c-transaction,
     /// with `miners[i]` mining block i.
-    fn chain_with(miners: &[&str]) -> (Chain, HashSet<Txid>) {
+    fn chain_with(miners: &[&str]) -> (Chain, FastSet<Txid>) {
         let mut chain = Chain::new(Params::mainnet());
         let mut fund = Transaction::builder().add_input(cn_chain::TxIn::new(cn_chain::OutPoint::NULL));
         for _ in miners {
@@ -168,7 +167,7 @@ mod tests {
         }
         let fund = fund.build();
         chain.seed_utxos(&fund);
-        let mut c_txids = HashSet::new();
+        let mut c_txids = FastSet::default();
         for (h, m) in miners.iter().enumerate() {
             let tx = Transaction::builder()
                 .add_input_with_sizes(fund.txid(), h as u32, 107, 0)
@@ -251,7 +250,7 @@ mod tests {
     fn windowed_none_when_no_c_blocks() {
         let (chain, _) = chain_with(&["M", "O"]);
         let index = ChainIndex::build(&chain);
-        let none = windowed_prioritization(&index, &HashSet::new(), "M", 3);
+        let none = windowed_prioritization(&index, &FastSet::default(), "M", 3);
         assert!(none.is_none());
     }
 
@@ -259,7 +258,7 @@ mod tests {
     fn empty_chain_gives_trivial_test() {
         let chain = Chain::new(Params::mainnet());
         let index = ChainIndex::build(&chain);
-        let t = differential_prioritization(&index, &HashSet::new(), "M", 0.3);
+        let t = differential_prioritization(&index, &FastSet::default(), "M", 0.3);
         assert_eq!((t.x, t.y), (0, 0));
         assert_eq!(t.p_accelerate, 1.0);
         assert_eq!(t.p_decelerate, 1.0);

@@ -8,19 +8,19 @@
 
 use crate::attribution::Attribution;
 use crate::index::ChainIndex;
-use cn_chain::{Address, Chain, Txid};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use cn_chain::{Address, Chain, FastMap, FastSet, Txid};
+use std::collections::{BTreeSet, HashMap};
 
 /// Transactions touching each pool's wallets.
 #[derive(Clone, Debug, Default)]
 pub struct SelfInterestMap {
     /// Pool name → txids that send from or pay to its wallets.
-    pub by_pool: HashMap<String, HashSet<Txid>>,
+    pub by_pool: HashMap<String, FastSet<Txid>>,
 }
 
 impl SelfInterestMap {
     /// The transactions of one pool.
-    pub fn of(&self, pool: &str) -> Option<&HashSet<Txid>> {
+    pub fn of(&self, pool: &str) -> Option<&FastSet<Txid>> {
         self.by_pool.get(pool)
     }
 
@@ -40,7 +40,7 @@ pub fn find_self_interest_transactions(
     // Wallet → pool lookup. A wallet observed for several pools (shared
     // payout infrastructure, like BitDeer/BTC.com in the paper) maps to
     // all of them.
-    let mut wallet_pools: HashMap<Address, Vec<String>> = HashMap::new();
+    let mut wallet_pools: FastMap<Address, Vec<String>> = FastMap::default();
     for pool in &attribution.pools {
         for &wallet in &pool.wallets {
             wallet_pools.entry(wallet).or_default().push(pool.name.clone());
@@ -85,7 +85,7 @@ pub fn self_interest_txids(
     chain: &Chain,
     index: &ChainIndex,
     pool: &str,
-) -> HashSet<Txid> {
+) -> FastSet<Txid> {
     let attribution = crate::attribution::attribute(index);
     find_self_interest_transactions(chain, &attribution)
         .of(pool)
@@ -171,7 +171,7 @@ mod tests {
         let (chain, index) = build();
         let att = attribute(&index);
         let map = find_self_interest_transactions(&chain, &att);
-        let all: HashSet<Txid> = map.by_pool.values().flatten().copied().collect();
+        let all: FastSet<Txid> = map.by_pool.values().flatten().copied().collect();
         // Exactly the two pool-touching transactions, not the third.
         assert_eq!(all.len(), 2);
         assert_eq!(map.total_flagged(), 2);

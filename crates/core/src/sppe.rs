@@ -8,8 +8,7 @@
 
 use crate::index::{BlockInfo, ChainIndex};
 use crate::ppe::{percentile, predicted_positions};
-use cn_chain::Txid;
-use std::collections::HashSet;
+use cn_chain::{FastSet, Txid};
 
 /// SPPE of one transaction within its block (all body transactions form
 /// the ranking basis). Returns `None` when the txid is not in the block.
@@ -50,7 +49,7 @@ pub fn block_sppes(block: &BlockInfo) -> Vec<(Txid, f64)> {
 /// Mean SPPE of the c-transactions confirmed in blocks attributed to
 /// `miner` (the `% SPPE(m)` column of Tables 2 and 3). Returns `None`
 /// when the miner confirmed none of them.
-pub fn sppe_for_miner(index: &ChainIndex, c_txids: &HashSet<Txid>, miner: &str) -> Option<f64> {
+pub fn sppe_for_miner(index: &ChainIndex, c_txids: &FastSet<Txid>, miner: &str) -> Option<f64> {
     let mut total = 0.0;
     let mut count = 0usize;
     for block in index.blocks() {
@@ -153,7 +152,7 @@ mod tests {
         // sppe_for_miner over a real index is exercised in integration
         // tests; here we validate at least that the helper skips foreign
         // miners by means of an empty set.
-        let mut set = HashSet::new();
+        let mut set = FastSet::default();
         set.insert(target);
         // A miner with no blocks yields None on an empty index.
         let empty = ChainIndex::default();

@@ -21,6 +21,10 @@ pub struct MempoolEntry {
     /// Cached descendant-package totals (self + all in-pool descendants).
     pub(crate) desc_fee: u64,
     pub(crate) desc_vsize: u64,
+    /// Interned adjacency: slab handles of the resident parents/children.
+    /// Maintained by the pool on every add/remove; dedup'd.
+    pub(crate) parents: Vec<u32>,
+    pub(crate) children: Vec<u32>,
 }
 
 impl MempoolEntry {
@@ -43,6 +47,8 @@ impl MempoolEntry {
             anc_vsize: vsize,
             desc_fee: fee.to_sat(),
             desc_vsize: vsize,
+            parents: Vec::new(),
+            children: Vec::new(),
         }
     }
 

@@ -28,7 +28,7 @@ pub mod snapshot;
 
 pub use entry::MempoolEntry;
 pub use estimator::FeeEstimator;
-pub use mempool::{AcceptError, Mempool};
+pub use mempool::{AcceptError, AncKey, Mempool, TxHandle};
 pub use policy::MempoolPolicy;
 pub use rbf::{RbfError, Replacement};
 pub use snapshot::{MempoolSnapshot, SnapshotEntry};

@@ -1,13 +1,21 @@
 //! The Mempool proper: indexes, acceptance, package linkage, block connect.
+//!
+//! Residents live in a slab arena: admission interns the txid to a dense
+//! `u32` handle, and every internal structure (parent/child adjacency,
+//! ancestry walks, the assembler-facing ancestor-score index) operates on
+//! handles instead of re-hashing 32-byte txids. The txid-keyed maps that
+//! remain (`lookup`, `spent`) use the digest-prefix hasher from
+//! [`cn_chain::fasthash`], the same trick as Bitcoin Core's
+//! `SaltedTxidHasher`.
 
 use crate::entry::MempoolEntry;
 use crate::policy::MempoolPolicy;
 use crate::snapshot::{MempoolSnapshot, SnapshotEntry};
-use cn_chain::{Amount, Block, FeeRate, OutPoint, Timestamp, Transaction, Txid};
-use std::cmp::Reverse;
-use std::sync::Arc;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use cn_chain::{Amount, Block, FastMap, FeeRate, OutPoint, Timestamp, Transaction, Txid};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a transaction was refused admission.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +64,58 @@ impl std::error::Error for AcceptError {}
 /// rate first, with FIFO arrival order breaking ties deterministically.
 type RateKey = (FeeRate, Reverse<u64>, Txid);
 
+/// A dense per-pool transaction handle: the slab index a resident was
+/// interned at on admission. Valid until that transaction leaves the pool
+/// (slots are recycled, so never hold one across a remove).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TxHandle(u32);
+
+impl TxHandle {
+    /// The slab index, for handle-indexed scratch arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Ancestor-package score key, ordered exactly like the assembler ranks
+/// candidates: cross-multiplied package fee rate, then smaller package,
+/// then earlier arrival, then txid. Iterating the pool's maintained index
+/// in reverse therefore yields candidates best-first — the order
+/// `GetBlockTemplate`'s selection loop wants them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AncKey {
+    /// Ancestor-package fee in satoshis at the time the key was indexed.
+    pub fee: u64,
+    /// Ancestor-package virtual size.
+    pub vsize: u64,
+    /// Arrival sequence (unique per pool — makes the order total).
+    pub seq: u64,
+    /// The transaction this key scores.
+    pub txid: Txid,
+    /// Its slab handle, so index consumers skip the txid lookup.
+    pub handle: TxHandle,
+}
+
+impl Ord for AncKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = self.fee as u128 * other.vsize as u128;
+        let rhs = other.fee as u128 * self.vsize as u128;
+        lhs.cmp(&rhs)
+            // Smaller packages first among equal rates (Core's heuristic).
+            .then_with(|| other.vsize.cmp(&self.vsize))
+            // Earlier arrival wins: greater-is-better, so compare reversed.
+            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| self.txid.cmp(&other.txid))
+            .then_with(|| self.handle.cmp(&other.handle))
+    }
+}
+
+impl PartialOrd for AncKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// A Bitcoin-Core-style memory pool.
 ///
 /// ```
@@ -75,12 +135,21 @@ type RateKey = (FeeRate, Reverse<u64>, Txid);
 #[derive(Clone, Debug, Default)]
 pub struct Mempool {
     policy: MempoolPolicy,
-    entries: HashMap<Txid, MempoolEntry>,
+    /// Txid → slab handle. The only per-touch txid hash on the hot path.
+    lookup: FastMap<Txid, u32>,
+    /// The intern arena. `None` slots are free and listed in `free`.
+    slots: Vec<Option<MempoolEntry>>,
+    free: Vec<u32>,
     by_rate: BTreeSet<RateKey>,
     /// In-pool spends, for conflict detection and confirmed-conflict eviction.
-    spent: HashMap<OutPoint, Txid>,
-    /// Parent txid -> children resident in the pool.
-    children: HashMap<Txid, BTreeSet<Txid>>,
+    spent: FastMap<OutPoint, Txid>,
+    /// Ancestor-package score index, maintained on every add/remove/confirm
+    /// so the assembler's selection loop can walk residents best-first
+    /// without rebuilding a heap per block.
+    anc_index: BTreeSet<AncKey>,
+    /// Multiset of resident tx weights; the assembler's early-exit bound
+    /// (`min` over candidates) in O(1).
+    weights: BTreeMap<u64, u32>,
     /// Descendant-package fee rate index — the `-maxmempool` eviction order.
     /// Maintained only once [`Mempool::activate_index`] has run.
     by_desc_rate: BTreeSet<(FeeRate, Txid)>,
@@ -113,12 +182,12 @@ impl Mempool {
 
     /// Number of resident transactions.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.lookup.len()
     }
 
     /// True when the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.lookup.is_empty()
     }
 
     /// Aggregate virtual size of all residents, in vbytes — the paper's
@@ -127,14 +196,65 @@ impl Mempool {
         self.total_vsize
     }
 
+    /// The live entry at slab index `h` (panics on a dead handle).
+    fn slot(&self, h: u32) -> &MempoolEntry {
+        self.slots[h as usize].as_ref().expect("live handle")
+    }
+
+    fn slot_mut(&mut self, h: u32) -> &mut MempoolEntry {
+        self.slots[h as usize].as_mut().expect("live handle")
+    }
+
+    fn handle(&self, txid: &Txid) -> Option<u32> {
+        self.lookup.get(txid).copied()
+    }
+
     /// Looks up a resident entry.
     pub fn get(&self, txid: &Txid) -> Option<&MempoolEntry> {
-        self.entries.get(txid)
+        self.handle(txid).map(|h| self.slot(h))
     }
 
     /// True when `txid` is resident.
     pub fn contains(&self, txid: &Txid) -> bool {
-        self.entries.contains_key(txid)
+        self.lookup.contains_key(txid)
+    }
+
+    /// The slab handle `txid` was interned at, if resident.
+    pub fn handle_of(&self, txid: &Txid) -> Option<TxHandle> {
+        self.handle(txid).map(TxHandle)
+    }
+
+    /// The entry behind a live handle.
+    pub fn entry_at(&self, h: TxHandle) -> &MempoolEntry {
+        self.slot(h.0)
+    }
+
+    /// Slab capacity (one past the largest handle index ever issued) —
+    /// the size handle-indexed scratch arrays need.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Direct resident parents of a live handle.
+    pub fn parent_handles(&self, h: TxHandle) -> impl Iterator<Item = TxHandle> + '_ {
+        self.slot(h.0).parents.iter().map(|&p| TxHandle(p))
+    }
+
+    /// Direct resident children of a live handle.
+    pub fn child_handles(&self, h: TxHandle) -> impl Iterator<Item = TxHandle> + '_ {
+        self.slot(h.0).children.iter().map(|&c| TxHandle(c))
+    }
+
+    /// The maintained ancestor-score index, worst-first (reverse it for
+    /// the assembler's best-first order).
+    pub fn anc_score_iter(&self) -> impl DoubleEndedIterator<Item = &AncKey> + '_ {
+        self.anc_index.iter()
+    }
+
+    /// Smallest resident transaction weight, O(1) from the maintained
+    /// multiset.
+    pub fn min_tx_weight(&self) -> Option<u64> {
+        self.weights.keys().next().copied()
     }
 
     /// Attempts to admit `tx` with externally computed `fee` at time `now`.
@@ -151,7 +271,7 @@ impl Mempool {
         now: Timestamp,
     ) -> Result<Txid, AcceptError> {
         let txid = tx.txid();
-        if self.entries.contains_key(&txid) {
+        if self.lookup.contains_key(&txid) {
             return Err(AcceptError::Duplicate);
         }
         let rate = FeeRate::from_fee_and_vsize(fee, tx.vsize());
@@ -166,23 +286,25 @@ impl Mempool {
             }
         }
         // Package limits against in-pool ancestors.
-        let parents: BTreeSet<Txid> = tx
-            .inputs()
-            .iter()
-            .map(|i| i.prevout.txid)
-            .filter(|t| self.entries.contains_key(t))
-            .collect();
-        let ancestors: HashSet<Txid> = if parents.is_empty() {
-            HashSet::new()
+        let mut parents: Vec<u32> = Vec::new();
+        for input in tx.inputs() {
+            if let Some(&p) = self.lookup.get(&input.prevout.txid) {
+                if !parents.contains(&p) {
+                    parents.push(p);
+                }
+            }
+        }
+        let ancestors: Vec<u32> = if parents.is_empty() {
+            Vec::new()
         } else {
-            self.collect_ancestors(parents.iter().copied())
+            self.closure_including(&parents, Link::Parents)
         };
         if !parents.is_empty() {
             if ancestors.len() >= self.policy.max_ancestors {
                 return Err(AcceptError::TooManyAncestors);
             }
-            for ancestor in &ancestors {
-                if self.descendants(ancestor).len() + 1 >= self.policy.max_descendants {
+            for &ancestor in &ancestors {
+                if self.descendants_h(ancestor).len() + 1 >= self.policy.max_descendants {
                     return Err(AcceptError::TooManyDescendants);
                 }
             }
@@ -194,23 +316,42 @@ impl Mempool {
             self.spent.insert(input.prevout, txid);
         }
         let has_parent = !parents.is_empty();
-        for parent in parents {
-            self.children.entry(parent).or_default().insert(txid);
+        let vsize = tx.vsize();
+        let weight = tx.weight();
+        self.total_vsize += vsize;
+        self.by_rate.insert((rate, Reverse(sequence), txid));
+        *self.weights.entry(weight).or_insert(0) += 1;
+
+        let mut entry = MempoolEntry::new(tx, fee, now, sequence);
+        entry.parents = parents.clone();
+        let h = match self.free.pop() {
+            Some(h) => {
+                self.slots[h as usize] = Some(entry);
+                h
+            }
+            None => {
+                self.slots.push(Some(entry));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.lookup.insert(txid, h);
+        for &p in &parents {
+            self.slot_mut(p).children.push(h);
         }
         // P2P paths can deliver a child before its parent; if any resident
         // transaction already spends one of this transaction's outputs,
         // reconstruct the parent→child edge now.
         let mut reconnected = false;
-        for vout in 0..tx.outputs().len() as u32 {
-            if let Some(&child) = self.spent.get(&OutPoint::new(txid, vout)) {
-                self.children.entry(txid).or_default().insert(child);
-                reconnected = true;
+        let out_count = self.slot(h).tx().outputs().len() as u32;
+        for vout in 0..out_count {
+            let Some(&child_txid) = self.spent.get(&OutPoint::new(txid, vout)) else { continue };
+            let c = self.handle(&child_txid).expect("spenders are resident");
+            if !self.slot(h).children.contains(&c) {
+                self.slot_mut(h).children.push(c);
             }
+            self.slot_mut(c).parents.push(h);
+            reconnected = true;
         }
-        let vsize = tx.vsize();
-        self.total_vsize += vsize;
-        self.by_rate.insert((rate, Reverse(sequence), txid));
-        self.entries.insert(txid, MempoolEntry::new(tx, fee, now, sequence));
         if self.index_active {
             self.by_desc_rate.insert((FeeRate::from_fee_and_vsize(fee, vsize), txid));
             self.rows.insert(
@@ -229,24 +370,48 @@ impl Mempool {
             // Rare out-of-order arrival: the new transaction gained resident
             // descendants, so the incremental deltas below don't apply.
             // Recompute the affected neighbourhood from the graph.
-            self.rescore_around(&txid);
+            self.rescore_around(h);
         } else {
             let fee_sat = fee.to_sat();
             let mut anc_fee = fee_sat;
             let mut anc_vsize = vsize;
-            for a in &ancestors {
-                let e = self.entries.get(a).expect("ancestors resident");
+            for &a in &ancestors {
+                let e = self.slot(a);
                 anc_fee += e.fee().to_sat();
                 anc_vsize += e.vsize();
             }
-            let entry = self.entries.get_mut(&txid).expect("just inserted");
-            entry.anc_fee = anc_fee;
-            entry.anc_vsize = anc_vsize;
-            for a in &ancestors {
+            self.set_anc_score(h, anc_fee, anc_vsize);
+            for &a in &ancestors {
                 self.shift_desc_score(a, fee_sat as i128, vsize as i128);
             }
         }
         Ok(txid)
+    }
+
+    /// The ancestor-score index key currently stored for the entry at `h`.
+    fn anc_key(entry: &MempoolEntry, h: u32) -> AncKey {
+        AncKey {
+            fee: entry.anc_fee,
+            vsize: entry.anc_vsize,
+            seq: entry.sequence(),
+            txid: entry.txid(),
+            handle: TxHandle(h),
+        }
+    }
+
+    /// Sets the entry's ancestor-package totals and re-keys the score
+    /// index. Also the insertion path: removing a key that was never
+    /// indexed is a no-op, so fresh entries land here too.
+    fn set_anc_score(&mut self, h: u32, fee_sat: u64, vsize: u64) {
+        let Some(entry) = self.slots[h as usize].as_mut() else { return };
+        let old = Self::anc_key(entry, h);
+        entry.anc_fee = fee_sat;
+        entry.anc_vsize = vsize;
+        let new = Self::anc_key(entry, h);
+        if new != old {
+            self.anc_index.remove(&old);
+        }
+        self.anc_index.insert(new);
     }
 
     /// The descendant-package index key currently stored for `txid`.
@@ -254,56 +419,58 @@ impl Mempool {
         (FeeRate::from_fee_and_vsize(Amount::from_sat(entry.desc_fee), entry.desc_vsize), txid)
     }
 
-    /// Applies a delta to `txid`'s descendant-package totals, re-keying the
-    /// eviction index.
-    fn shift_desc_score(&mut self, txid: &Txid, dfee: i128, dvsize: i128) {
+    /// Applies a delta to the descendant-package totals at `h`, re-keying
+    /// the eviction index.
+    fn shift_desc_score(&mut self, h: u32, dfee: i128, dvsize: i128) {
         let index_active = self.index_active;
-        let Some(entry) = self.entries.get_mut(txid) else { return };
-        let old_key = Self::desc_key(entry, *txid);
+        let Some(entry) = self.slots[h as usize].as_mut() else { return };
+        let txid = entry.txid();
+        let old_key = Self::desc_key(entry, txid);
         entry.desc_fee = (entry.desc_fee as i128 + dfee).max(0) as u64;
         entry.desc_vsize = (entry.desc_vsize as i128 + dvsize).max(0) as u64;
-        let new_key = Self::desc_key(entry, *txid);
+        let new_key = Self::desc_key(entry, txid);
         if index_active && new_key != old_key {
             self.by_desc_rate.remove(&old_key);
             self.by_desc_rate.insert(new_key);
         }
     }
 
-    /// Recomputes the cached package scores around `txid` from the graph:
-    /// ancestor scores for `txid` and its descendants, descendant scores
-    /// for `txid` and its ancestors, and parent flags for its children.
-    /// Only needed on the rare child-before-parent reconnect.
-    fn rescore_around(&mut self, txid: &Txid) {
-        let mut down = self.descendants(txid);
-        down.push(*txid);
-        for d in down {
-            let (fee, vsize) = self.compute_ancestor_package(&d);
-            if let Some(e) = self.entries.get_mut(&d) {
-                e.anc_fee = fee.to_sat();
-                e.anc_vsize = vsize;
-            }
+    /// Recomputes the descendant-package totals at `h` from the graph and
+    /// re-keys the eviction index.
+    fn recompute_desc_score(&mut self, h: u32) {
+        let (fee, vsize) = self.compute_descendant_package_h(h);
+        let index_active = self.index_active;
+        let Some(entry) = self.slots[h as usize].as_mut() else { return };
+        let txid = entry.txid();
+        let old_key = Self::desc_key(entry, txid);
+        entry.desc_fee = fee.to_sat();
+        entry.desc_vsize = vsize;
+        let new_key = Self::desc_key(entry, txid);
+        if index_active && new_key != old_key {
+            self.by_desc_rate.remove(&old_key);
+            self.by_desc_rate.insert(new_key);
         }
-        let mut up = self.ancestors(txid);
-        up.push(*txid);
+    }
+
+    /// Recomputes the cached package scores around `h` from the graph:
+    /// ancestor scores for the entry and its descendants, descendant scores
+    /// for the entry and its ancestors, and parent flags for its children.
+    /// Only needed on the rare child-before-parent reconnect.
+    fn rescore_around(&mut self, h: u32) {
+        let mut down = self.descendants_h(h);
+        down.push(h);
+        for d in down {
+            let (fee, vsize) = self.compute_ancestor_package_h(d);
+            self.set_anc_score(d, fee.to_sat(), vsize);
+        }
+        let mut up = self.ancestors_h(h);
+        up.push(h);
         for a in up {
-            let (fee, vsize) = self.compute_descendant_package(&a);
-            let index_active = self.index_active;
-            let keys = self.entries.get_mut(&a).map(|entry| {
-                let old_key = Self::desc_key(entry, a);
-                entry.desc_fee = fee.to_sat();
-                entry.desc_vsize = vsize;
-                (old_key, Self::desc_key(entry, a))
-            });
-            if let Some((old_key, new_key)) = keys {
-                if index_active && new_key != old_key {
-                    self.by_desc_rate.remove(&old_key);
-                    self.by_desc_rate.insert(new_key);
-                }
-            }
+            self.recompute_desc_score(a);
         }
         if self.index_active {
             let kids: Vec<Txid> =
-                self.children.get(txid).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                self.slot(h).children.iter().map(|&c| self.slot(c).txid()).collect();
             for c in kids {
                 if let Some(row) = self.rows.get_mut(&c) {
                     if !row.has_unconfirmed_parent {
@@ -318,45 +485,48 @@ impl Mempool {
     /// Removes one transaction (no descendant handling); returns the entry.
     /// Package scores of survivors are the *caller's* responsibility — see
     /// [`Mempool::remove_confirmed`] and [`Mempool::remove_with_descendants`].
-    fn remove_single(&mut self, txid: &Txid) -> Option<MempoolEntry> {
-        let entry = self.entries.remove(txid)?;
-        self.by_rate
-            .remove(&(entry.fee_rate(), Reverse(entry.sequence()), *txid));
+    fn remove_single_h(&mut self, h: u32) -> Option<MempoolEntry> {
+        let entry = self.slots[h as usize].take()?;
+        let txid = entry.txid();
+        self.lookup.remove(&txid);
+        self.free.push(h);
+        self.by_rate.remove(&(entry.fee_rate(), Reverse(entry.sequence()), txid));
+        self.anc_index.remove(&Self::anc_key(&entry, h));
+        let weight = entry.tx().weight();
+        if let Some(count) = self.weights.get_mut(&weight) {
+            *count -= 1;
+            if *count == 0 {
+                self.weights.remove(&weight);
+            }
+        }
         if self.index_active {
-            self.by_desc_rate.remove(&Self::desc_key(&entry, *txid));
-            self.rows.remove(txid);
+            self.by_desc_rate.remove(&Self::desc_key(&entry, txid));
+            self.rows.remove(&txid);
             self.snapshot_cache = None;
         }
         self.total_vsize -= entry.vsize();
         for input in entry.tx().inputs() {
             self.spent.remove(&input.prevout);
         }
-        for input in entry.tx().inputs() {
-            if let Some(set) = self.children.get_mut(&input.prevout.txid) {
-                set.remove(txid);
-                if set.is_empty() {
-                    self.children.remove(&input.prevout.txid);
-                }
+        for &p in &entry.parents {
+            if let Some(pe) = self.slots[p as usize].as_mut() {
+                pe.children.retain(|&c| c != h);
             }
         }
-        let kids = self.children.remove(txid);
-        // Direct children lost a resident parent; refresh their CPFP flag.
-        if self.index_active {
-            if let Some(kids) = kids {
-                for c in kids {
-                    let flag = self
-                        .entries
-                        .get(&c)
-                        .map(|e| {
-                            e.tx()
-                                .inputs()
-                                .iter()
-                                .any(|i| self.entries.contains_key(&i.prevout.txid))
-                        })
-                        .unwrap_or(false);
-                    if let Some(row) = self.rows.get_mut(&c) {
-                        row.has_unconfirmed_parent = flag;
-                    }
+        // Direct children lost a resident parent; drop the edge and
+        // refresh their CPFP flag.
+        for &c in &entry.children {
+            let flag = match self.slots[c as usize].as_mut() {
+                Some(ce) => {
+                    ce.parents.retain(|&p| p != h);
+                    !ce.parents.is_empty()
+                }
+                None => continue,
+            };
+            if self.index_active {
+                let child_txid = self.slot(c).txid();
+                if let Some(row) = self.rows.get_mut(&child_txid) {
+                    row.has_unconfirmed_parent = flag;
                 }
             }
         }
@@ -369,48 +539,30 @@ impl Mempool {
     /// from their ancestor package. A defensive fallback recomputes the
     /// neighbourhood if the topological precondition ever fails.
     fn remove_confirmed(&mut self, txid: &Txid) -> Option<MempoolEntry> {
-        let entry = self.entries.get(txid)?;
+        let h = self.handle(txid)?;
+        let entry = self.slot(h);
         let fee = entry.fee().to_sat();
         let vsize = entry.vsize();
-        let has_ancestor = entry
-            .tx()
-            .inputs()
-            .iter()
-            .any(|i| self.entries.contains_key(&i.prevout.txid));
+        let has_ancestor = !entry.parents.is_empty();
         if !has_ancestor {
-            for d in self.descendants(txid) {
-                if let Some(e) = self.entries.get_mut(&d) {
-                    e.anc_fee = e.anc_fee.saturating_sub(fee);
-                    e.anc_vsize = e.anc_vsize.saturating_sub(vsize);
-                }
+            for d in self.descendants_h(h) {
+                let (f, v) = {
+                    let e = self.slot(d);
+                    (e.anc_fee.saturating_sub(fee), e.anc_vsize.saturating_sub(vsize))
+                };
+                self.set_anc_score(d, f, v);
             }
-            self.remove_single(txid)
+            self.remove_single_h(h)
         } else {
-            let ancestors = self.ancestors(txid);
-            let descendants = self.descendants(txid);
-            let removed = self.remove_single(txid);
+            let ancestors = self.ancestors_h(h);
+            let descendants = self.descendants_h(h);
+            let removed = self.remove_single_h(h);
             for d in descendants {
-                let (fee, vsize) = self.compute_ancestor_package(&d);
-                if let Some(e) = self.entries.get_mut(&d) {
-                    e.anc_fee = fee.to_sat();
-                    e.anc_vsize = vsize;
-                }
+                let (fee, vsize) = self.compute_ancestor_package_h(d);
+                self.set_anc_score(d, fee.to_sat(), vsize);
             }
             for a in ancestors {
-                let (fee, vsize) = self.compute_descendant_package(&a);
-                let index_active = self.index_active;
-                let keys = self.entries.get_mut(&a).map(|entry| {
-                    let old_key = Self::desc_key(entry, a);
-                    entry.desc_fee = fee.to_sat();
-                    entry.desc_vsize = vsize;
-                    (old_key, Self::desc_key(entry, a))
-                });
-                if let Some((old_key, new_key)) = keys {
-                    if index_active && new_key != old_key {
-                        self.by_desc_rate.remove(&old_key);
-                        self.by_desc_rate.insert(new_key);
-                    }
-                }
+                self.recompute_desc_score(a);
             }
             removed
         }
@@ -419,26 +571,28 @@ impl Mempool {
     /// Removes `txid` and every in-pool descendant (used when a transaction
     /// is evicted or conflicted away — its children can no longer be mined).
     pub fn remove_with_descendants(&mut self, txid: &Txid) -> Vec<MempoolEntry> {
-        let mut order = self.descendants(txid);
-        order.push(*txid);
+        let Some(h) = self.handle(txid) else { return Vec::new() };
+        let mut order = self.descendants_h(h);
+        order.push(h);
         // The whole subtree leaves together, so no survivor loses an
         // ancestor (a survivor descending from a removed tx would itself be
         // in the subtree). Survivors that are ancestors of removed members
         // shed them from their descendant packages; subtract each removed
         // member from its out-of-subtree ancestors before edges disappear.
-        let removal_set: HashSet<Txid> = order.iter().copied().collect();
-        for r in &order {
-            let Some(e) = self.entries.get(r) else { continue };
-            let (fee, vsize) = (e.fee().to_sat(), e.vsize());
-            for a in self.ancestors(r) {
-                if !removal_set.contains(&a) {
-                    self.shift_desc_score(&a, -(fee as i128), -(vsize as i128));
+        for &r in &order {
+            let (fee, vsize) = {
+                let e = self.slot(r);
+                (e.fee().to_sat(), e.vsize())
+            };
+            for a in self.ancestors_h(r) {
+                if !order.contains(&a) {
+                    self.shift_desc_score(a, -(fee as i128), -(vsize as i128));
                 }
             }
         }
         let mut removed = Vec::with_capacity(order.len());
         for t in order {
-            if let Some(e) = self.remove_single(&t) {
+            if let Some(e) = self.remove_single_h(t) {
                 removed.push(e);
             }
         }
@@ -469,58 +623,61 @@ impl Mempool {
         (confirmed, conflicted)
     }
 
-    /// All in-pool ancestors of `txid` (excluding itself).
-    pub fn ancestors(&self, txid: &Txid) -> Vec<Txid> {
-        let Some(entry) = self.entries.get(txid) else {
-            return Vec::new();
-        };
-        let parents = entry
-            .tx()
-            .inputs()
-            .iter()
-            .map(|i| i.prevout.txid)
-            .filter(|t| self.entries.contains_key(t));
-        self.collect_ancestors(parents).into_iter().collect()
-    }
-
-    fn collect_ancestors(&self, seeds: impl Iterator<Item = Txid>) -> HashSet<Txid> {
-        let mut seen: HashSet<Txid> = HashSet::new();
-        let mut stack: Vec<Txid> = seeds.collect();
+    /// Handle-level ancestor closure of `seeds` *including* the seeds
+    /// (for [`Link::Parents`]) — the shape admission's package-limit check
+    /// wants. Linear-scan dedup: package limits cap these sets at 25.
+    fn closure_including(&self, seeds: &[u32], link: Link) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = seeds.to_vec();
         while let Some(t) = stack.pop() {
-            if !seen.insert(t) {
+            if out.contains(&t) {
                 continue;
             }
-            if let Some(entry) = self.entries.get(&t) {
-                for input in entry.tx().inputs() {
-                    let p = input.prevout.txid;
-                    if self.entries.contains_key(&p) && !seen.contains(&p) {
-                        stack.push(p);
-                    }
-                }
-            }
+            out.push(t);
+            let entry = self.slot(t);
+            let next = match link {
+                Link::Parents => &entry.parents,
+                Link::Children => &entry.children,
+            };
+            stack.extend_from_slice(next);
         }
-        seen
+        out
+    }
+
+    /// All in-pool ancestor handles of `h` (excluding itself).
+    fn ancestors_h(&self, h: u32) -> Vec<u32> {
+        self.closure_including(&self.slot(h).parents.clone(), Link::Parents)
+    }
+
+    /// All in-pool descendant handles of `h` (excluding itself).
+    fn descendants_h(&self, h: u32) -> Vec<u32> {
+        self.closure_including(&self.slot(h).children.clone(), Link::Children)
+    }
+
+    /// All in-pool ancestors of `txid` (excluding itself).
+    pub fn ancestors(&self, txid: &Txid) -> Vec<Txid> {
+        match self.handle(txid) {
+            Some(h) => self.ancestors_h(h).into_iter().map(|a| self.slot(a).txid()).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// All in-pool descendants of `txid` (excluding itself).
     pub fn descendants(&self, txid: &Txid) -> Vec<Txid> {
-        let mut seen: HashSet<Txid> = HashSet::new();
-        let mut stack: Vec<Txid> = self
-            .children
-            .get(txid)
-            .map(|s| s.iter().copied().collect())
-            .unwrap_or_default();
-        let mut out = Vec::new();
-        while let Some(t) = stack.pop() {
-            if !seen.insert(t) {
-                continue;
-            }
-            out.push(t);
-            if let Some(kids) = self.children.get(&t) {
-                stack.extend(kids.iter().copied());
-            }
+        match self.handle(txid) {
+            Some(h) => self.descendants_h(h).into_iter().map(|d| self.slot(d).txid()).collect(),
+            None => Vec::new(),
         }
-        out
+    }
+
+    /// Ancestor handles of a live handle (excluding itself).
+    pub fn ancestor_handles(&self, h: TxHandle) -> Vec<TxHandle> {
+        self.ancestors_h(h.0).into_iter().map(TxHandle).collect()
+    }
+
+    /// Descendant handles of a live handle (excluding itself).
+    pub fn descendant_handles(&self, h: TxHandle) -> Vec<TxHandle> {
+        self.descendants_h(h.0).into_iter().map(TxHandle).collect()
     }
 
     /// The in-pool transaction currently spending `outpoint`, if any.
@@ -533,19 +690,17 @@ impl Mempool {
     /// Bitcoin Core's size-limit eviction ranks by. O(1): the pool keeps
     /// the score current across every add/remove/confirm.
     pub fn descendant_package(&self, txid: &Txid) -> Option<(Amount, u64)> {
-        self.entries.get(txid).map(|e| e.descendant_score())
+        self.get(txid).map(|e| e.descendant_score())
     }
 
     /// Walk-based descendant-package score, for rescoring fallbacks and
     /// index-consistency checks.
-    fn compute_descendant_package(&self, txid: &Txid) -> (Amount, u64) {
-        let Some(entry) = self.entries.get(txid) else {
-            return (Amount::ZERO, 0);
-        };
+    fn compute_descendant_package_h(&self, h: u32) -> (Amount, u64) {
+        let entry = self.slot(h);
         let mut fee = entry.fee();
         let mut vsize = entry.vsize();
-        for d in self.descendants(txid) {
-            let e = self.entries.get(&d).expect("descendants are resident");
+        for d in self.descendants_h(h) {
+            let e = self.slot(d);
             fee += e.fee();
             vsize += e.vsize();
         }
@@ -573,19 +728,17 @@ impl Mempool {
     /// Bitcoin Core's assembler actually ranks by. O(1): the pool keeps
     /// the score current across every add/remove/confirm.
     pub fn ancestor_package(&self, txid: &Txid) -> Option<(Amount, u64)> {
-        self.entries.get(txid).map(|e| e.ancestor_score())
+        self.get(txid).map(|e| e.ancestor_score())
     }
 
     /// Walk-based ancestor-package score, for rescoring fallbacks and
     /// index-consistency checks.
-    fn compute_ancestor_package(&self, txid: &Txid) -> (Amount, u64) {
-        let Some(entry) = self.entries.get(txid) else {
-            return (Amount::ZERO, 0);
-        };
+    fn compute_ancestor_package_h(&self, h: u32) -> (Amount, u64) {
+        let entry = self.slot(h);
         let mut fee = entry.fee();
         let mut vsize = entry.vsize();
-        for a in self.ancestors(txid) {
-            let e = self.entries.get(&a).expect("ancestors are resident");
+        for a in self.ancestors_h(h) {
+            let e = self.slot(a);
             fee += e.fee();
             vsize += e.vsize();
         }
@@ -602,17 +755,11 @@ impl Mempool {
         }
         self.index_active = true;
         self.by_desc_rate =
-            self.entries.iter().map(|(txid, e)| Self::desc_key(e, *txid)).collect();
+            self.iter().map(|e| Self::desc_key(e, e.txid())).collect();
         self.rows = self
-            .entries
-            .values()
+            .iter()
             .map(|e| {
                 let txid = e.txid();
-                let has_parent = e
-                    .tx()
-                    .inputs()
-                    .iter()
-                    .any(|i| self.entries.contains_key(&i.prevout.txid));
                 (
                     txid,
                     SnapshotEntry {
@@ -620,7 +767,7 @@ impl Mempool {
                         received: e.received(),
                         fee: e.fee(),
                         vsize: e.vsize(),
-                        has_unconfirmed_parent: has_parent,
+                        has_unconfirmed_parent: !e.parents.is_empty(),
                     },
                 )
             })
@@ -631,21 +778,15 @@ impl Mempool {
     /// Direct in-pool children of `txid` (one spending hop, not the full
     /// descendant closure).
     pub fn children_of(&self, txid: &Txid) -> impl Iterator<Item = Txid> + '_ {
-        self.children.get(txid).into_iter().flat_map(|s| s.iter().copied())
+        self.handle(txid)
+            .into_iter()
+            .flat_map(move |h| self.slot(h).children.iter().map(|&c| self.slot(c).txid()))
     }
 
     /// Whether `txid` has at least one in-pool ancestor (i.e. is the child
     /// part of a potential CPFP package).
     pub fn has_unconfirmed_parent(&self, txid: &Txid) -> bool {
-        self.entries
-            .get(txid)
-            .map(|e| {
-                e.tx()
-                    .inputs()
-                    .iter()
-                    .any(|i| self.entries.contains_key(&i.prevout.txid))
-            })
-            .unwrap_or(false)
+        self.get(txid).map(|e| !e.parents.is_empty()).unwrap_or(false)
     }
 
     /// Iterates entries from highest to lowest fee rate (FIFO within ties).
@@ -653,12 +794,12 @@ impl Mempool {
         self.by_rate
             .iter()
             .rev()
-            .map(move |(_, _, txid)| self.entries.get(txid).expect("index consistent"))
+            .map(move |(_, _, txid)| self.get(txid).expect("index consistent"))
     }
 
-    /// Iterates all entries in arbitrary order.
+    /// Iterates all entries in slab order (deterministic, not sorted).
     pub fn iter(&self) -> impl Iterator<Item = &MempoolEntry> + '_ {
-        self.entries.values()
+        self.slots.iter().filter_map(|s| s.as_ref())
     }
 
     /// Evicts entries older than `max_age` at time `now` (Bitcoin Core's
@@ -666,8 +807,7 @@ impl Mempool {
     /// evicted with it. Returns evicted txids.
     pub fn evict_expired(&mut self, now: Timestamp, max_age: u64) -> Vec<Txid> {
         let expired: Vec<Txid> = self
-            .entries
-            .values()
+            .iter()
             .filter(|e| now.saturating_sub(e.received()) > max_age)
             .map(|e| e.txid())
             .collect();
@@ -702,8 +842,15 @@ impl Mempool {
     /// virtual size) — cheap enough for every 15-second tick of a
     /// year-scale run.
     pub fn snapshot_light(&self, now: Timestamp) -> MempoolSnapshot {
-        MempoolSnapshot::light(now, self.entries.len(), self.total_vsize)
+        MempoolSnapshot::light(now, self.len(), self.total_vsize)
     }
+}
+
+/// Which adjacency direction a closure walk follows.
+#[derive(Clone, Copy)]
+enum Link {
+    Parents,
+    Children,
 }
 
 #[cfg(test)]
@@ -729,6 +876,19 @@ mod tests {
         Mempool::new(MempoolPolicy::default())
     }
 
+    /// The ancestor-score index must always hold exactly one key per
+    /// resident, at the entry's current (anc_fee, anc_vsize, seq).
+    fn assert_anc_index_consistent(p: &Mempool) {
+        assert_eq!(p.anc_index.len(), p.len(), "one key per resident");
+        for key in &p.anc_index {
+            let e = p.get(&key.txid).expect("indexed txs are resident");
+            assert_eq!((key.fee, key.vsize), (e.anc_fee, e.anc_vsize), "key matches entry");
+            assert_eq!(key.seq, e.sequence());
+            let (fee, vsize) = p.compute_ancestor_package_h(key.handle.0);
+            assert_eq!((key.fee, key.vsize), (fee.to_sat(), vsize), "key matches the graph");
+        }
+    }
+
     #[test]
     fn add_and_lookup() {
         let mut p = pool();
@@ -739,6 +899,8 @@ mod tests {
         assert_eq!(p.len(), 1);
         assert_eq!(p.total_vsize(), vsize);
         assert_eq!(p.get(&txid).expect("resident").received(), 10);
+        assert_eq!(p.handle_of(&txid).map(|h| h.index()), Some(0));
+        assert_anc_index_consistent(&p);
     }
 
     #[test]
@@ -815,6 +977,7 @@ mod tests {
 
         assert!(p.has_unconfirmed_parent(&child.txid()));
         assert!(!p.has_unconfirmed_parent(&parent.txid()));
+        assert_anc_index_consistent(&p);
     }
 
     #[test]
@@ -833,6 +996,7 @@ mod tests {
         let (fee, vsize) = p.ancestor_package(&parent.txid()).expect("resident");
         assert_eq!(fee, Amount::from_sat(100));
         assert_eq!(vsize, pv);
+        assert_anc_index_consistent(&p);
     }
 
     #[test]
@@ -868,6 +1032,7 @@ mod tests {
         assert_eq!(confirmed_n, 1);
         assert_eq!(conflicted_n, 2); // rival + its child
         assert!(p.is_empty());
+        assert_anc_index_consistent(&p);
     }
 
     #[test]
@@ -882,8 +1047,10 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.total_vsize(), 0);
         assert_eq!(p.iter_by_fee_rate_desc().count(), 0);
+        assert_eq!(p.min_tx_weight(), None);
         // Re-adding after removal works (spent index was cleaned).
         assert!(p.add(parent, Amount::from_sat(1_000), 1).is_ok());
+        assert_anc_index_consistent(&p);
     }
 
     #[test]
@@ -939,6 +1106,7 @@ mod tests {
         assert!(p.contains(&fresh.txid()));
         assert!(!p.contains(&old.txid()));
         assert!(!p.contains(&child.txid()));
+        assert_anc_index_consistent(&p);
     }
 
     #[test]
@@ -1006,5 +1174,50 @@ mod tests {
         let parent_row = snap.entries.iter().find(|e| e.txid == parent.txid()).expect("parent");
         assert!(!parent_row.has_unconfirmed_parent);
         assert_eq!(snap.total_vsize(), parent.vsize() + child.vsize());
+    }
+
+    #[test]
+    fn handles_recycled_after_removal() {
+        let mut p = pool();
+        let a = tx_with(1, 0, 1_000);
+        let b = tx_with(2, 0, 1_000);
+        let a_id = p.add(a, Amount::from_sat(2_000), 0).expect("ok");
+        let slot_a = p.handle_of(&a_id).expect("live").index();
+        p.remove_with_descendants(&a_id);
+        let b_id = p.add(b, Amount::from_sat(2_000), 1).expect("ok");
+        assert_eq!(p.handle_of(&b_id).expect("live").index(), slot_a, "slot reused");
+        assert_eq!(p.slot_count(), 1);
+        assert_anc_index_consistent(&p);
+    }
+
+    #[test]
+    fn anc_index_tracks_reconnect_and_confirm() {
+        // Child delivered before parent (out-of-order reconnect), then the
+        // parent is confirmed away — the maintained index must match the
+        // graph at every step.
+        let mut p = Mempool::new(MempoolPolicy::accept_all());
+        let parent = tx_with(9, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        p.add(child.clone(), Amount::from_sat(4_000), 0).expect("orphan accepted");
+        p.add(parent.clone(), Amount::from_sat(300), 1).expect("parent accepted");
+        assert_anc_index_consistent(&p);
+        let (fee, _) = p.ancestor_package(&child.txid()).expect("resident");
+        assert_eq!(fee, Amount::from_sat(4_300), "reconnect rescored the child");
+
+        let cb = cn_chain::CoinbaseBuilder::new(1)
+            .reward(Address::from_label("pool"), Amount::from_btc(6))
+            .build();
+        let block = cn_chain::Block::assemble(
+            1,
+            cn_chain::BlockHash::ZERO,
+            0,
+            0,
+            cb,
+            vec![parent.clone()],
+        );
+        p.apply_block(&block);
+        assert_anc_index_consistent(&p);
+        let (fee, _) = p.ancestor_package(&child.txid()).expect("child survives");
+        assert_eq!(fee, Amount::from_sat(4_000), "confirm peeled the parent off");
     }
 }

@@ -62,6 +62,16 @@ pub trait MinerPolicy: Send + Sync {
     fn wants_input_addresses(&self) -> bool {
         true
     }
+
+    /// Whether [`MinerPolicy::classify`] returns [`Priority::Normal`] for
+    /// *every* transaction. When true the assembler skips the per-entry
+    /// classification pass and selects straight off the mempool's
+    /// persistent ancestor-score index. Only override to `true` for a
+    /// policy that cannot return anything but Normal; the conservative
+    /// default keeps unknown policies on the classified path.
+    fn always_normal(&self) -> bool {
+        false
+    }
 }
 
 /// The norm-following policy: pure fee-rate prioritization (what the paper
@@ -80,6 +90,10 @@ impl MinerPolicy for NormPolicy {
 
     fn wants_input_addresses(&self) -> bool {
         false
+    }
+
+    fn always_normal(&self) -> bool {
+        true
     }
 }
 
@@ -233,6 +247,10 @@ impl MinerPolicy for CompositePolicy {
 
     fn wants_input_addresses(&self) -> bool {
         self.parts.iter().any(|p| p.wants_input_addresses())
+    }
+
+    fn always_normal(&self) -> bool {
+        self.parts.iter().all(|p| p.always_normal())
     }
 }
 

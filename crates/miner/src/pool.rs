@@ -24,6 +24,11 @@ pub struct MiningPool {
     policy: Box<dyn MinerPolicy>,
     acceleration: Option<Arc<Mutex<AccelerationService>>>,
     blocks_mined: u64,
+    /// Created on the first build and reused for every later block, so the
+    /// incremental-vs-full assembly counters accumulate per pool. Chain
+    /// parameters are captured from that first call; callers never vary
+    /// them across a pool's lifetime.
+    assembler: Option<BlockAssembler>,
 }
 
 impl MiningPool {
@@ -51,6 +56,7 @@ impl MiningPool {
             policy: Box::new(NormPolicy),
             acceleration: None,
             blocks_mined: 0,
+            assembler: None,
         }
     }
 
@@ -101,6 +107,12 @@ impl MiningPool {
         self.blocks_mined
     }
 
+    /// Template-assembly path counters for this pool:
+    /// `(incremental_hits, full_rebuilds)`. Zero before the first build.
+    pub fn assembly_stats(&self) -> (u64, u64) {
+        self.assembler.as_ref().map_or((0, 0), BlockAssembler::stats)
+    }
+
     /// Produces a full block on top of `prev`, at `height` and `time`,
     /// drawing from `mempool`. `resolve_input` maps an outpoint to the
     /// address it pays (the node layer owns that view); unresolvable
@@ -114,26 +126,32 @@ impl MiningPool {
         time: Timestamp,
         resolve_input: &dyn Fn(&OutPoint) -> Option<Address>,
     ) -> Block {
-        let assembler = BlockAssembler::new(params.clone());
+        let assembler =
+            self.assembler.get_or_insert_with(|| BlockAssembler::new(params.clone()));
         let wants_inputs = self.policy.wants_input_addresses();
-        let template: BlockTemplate = assembler.assemble(mempool, |entry| {
-            let input_addresses: Vec<Address> = if wants_inputs {
-                entry
-                    .tx()
-                    .inputs()
-                    .iter()
-                    .filter_map(|i| resolve_input(&i.prevout))
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            let ctx = TxContext {
-                tx: entry.tx(),
-                fee_rate: entry.fee_rate(),
-                input_addresses: &input_addresses,
-            };
-            self.policy.classify(&ctx)
-        });
+        let policy = self.policy.as_ref();
+        let template: BlockTemplate = if policy.always_normal() {
+            assembler.assemble_norm(mempool)
+        } else {
+            assembler.assemble(mempool, |entry| {
+                let input_addresses: Vec<Address> = if wants_inputs {
+                    entry
+                        .tx()
+                        .inputs()
+                        .iter()
+                        .filter_map(|i| resolve_input(&i.prevout))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let ctx = TxContext {
+                    tx: entry.tx(),
+                    fee_rate: entry.fee_rate(),
+                    input_addresses: &input_addresses,
+                };
+                policy.classify(&ctx)
+            })
+        };
 
         let reward = params.subsidy_at(height) + template.total_fees;
         let wallet = self.wallets[(self.blocks_mined as usize) % self.wallets.len()];

@@ -17,10 +17,10 @@
 //! appear. This is exactly the lever the paper's SPPE detector measures.
 
 use crate::policy::Priority;
-use cn_chain::{Amount, Params, Transaction, Txid};
-use cn_mempool::{Mempool, MempoolEntry};
+use cn_chain::{Amount, FastMap, FastSet, Params, Transaction, Txid};
+use cn_mempool::{Mempool, MempoolEntry, TxHandle};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// The product of template construction: ordered body transactions plus
@@ -98,6 +98,36 @@ impl PartialOrd for HeapItem {
     }
 }
 
+/// Heap item for the cursor fast path: ordered exactly like [`HeapItem`],
+/// but carrying the mempool slab handle so score-overlay lookups are dense
+/// array indexing instead of txid hashing.
+#[derive(Clone, Copy, Debug)]
+struct CursorItem {
+    score: PackageScore,
+    txid: Txid,
+    handle: TxHandle,
+}
+
+impl Ord for CursorItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score.cmp(&other.score).then_with(|| self.txid.cmp(&other.txid))
+    }
+}
+
+impl PartialOrd for CursorItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for CursorItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for CursorItem {}
+
 /// A `GetBlockTemplate`-style assembler.
 ///
 /// ```
@@ -122,12 +152,25 @@ impl PartialOrd for HeapItem {
 #[derive(Clone, Debug)]
 pub struct BlockAssembler {
     params: Params,
+    /// Templates built on the incremental all-Normal fast path (cursor
+    /// over the mempool's persistent ancestor-score index).
+    incremental_hits: u64,
+    /// Templates that required the full classify-and-select rebuild
+    /// (at least one transaction carried a non-Normal priority).
+    full_rebuilds: u64,
 }
 
 impl BlockAssembler {
     /// Creates an assembler for the given chain parameters.
     pub fn new(params: Params) -> BlockAssembler {
-        BlockAssembler { params }
+        BlockAssembler { params, incremental_hits: 0, full_rebuilds: 0 }
+    }
+
+    /// Lifetime counters: `(incremental_hits, full_rebuilds)` — how many
+    /// templates this assembler built on the incremental fast path vs the
+    /// full rebuild path.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.incremental_hits, self.full_rebuilds)
     }
 
     /// The body weight budget (block limit minus coinbase reservation).
@@ -141,25 +184,53 @@ impl BlockAssembler {
     /// `classify` (use `|_| Priority::Normal` for a norm-following miner).
     ///
     /// Selection runs on the mempool's incrementally maintained
-    /// ancestor-package scores: near-linear in the number of candidates
-    /// instead of rescoring every package per heap operation. The result
-    /// is bit-identical to [`BlockAssembler::assemble_reference`], the
-    /// walk-everything specification version.
-    pub fn assemble<F>(&self, mempool: &Mempool, classify: F) -> BlockTemplate
+    /// ancestor-package scores. When every candidate is Normal — the
+    /// overwhelmingly common case — the assembler takes the incremental
+    /// fast path: a cursor over the pool's persistent ancestor-score index
+    /// (which survives across blocks; connecting a block only re-keys the
+    /// affected descendants) merged with a small side heap of re-scored
+    /// entries. Otherwise it falls back to the full phase-by-phase
+    /// rebuild. Either way the result is bit-identical to
+    /// [`BlockAssembler::assemble_reference`], the walk-everything
+    /// specification version.
+    pub fn assemble<F>(&mut self, mempool: &Mempool, classify: F) -> BlockTemplate
     where
         F: Fn(&MempoolEntry) -> Priority,
     {
         let priorities = self.classify_priorities(mempool, classify);
+        self.assemble_with_priorities(mempool, &priorities)
+    }
+
+    /// [`BlockAssembler::assemble`] for a policy known to classify every
+    /// transaction as Normal: skips the per-entry classification pass
+    /// entirely and goes straight to the incremental fast path.
+    pub fn assemble_norm(&mut self, mempool: &Mempool) -> BlockTemplate {
+        let priorities = FastMap::default();
+        self.assemble_with_priorities(mempool, &priorities)
+    }
+
+    /// Shared selection dispatch behind the public `assemble` entry points.
+    fn assemble_with_priorities(
+        &mut self,
+        mempool: &Mempool,
+        priorities: &FastMap<Txid, Priority>,
+    ) -> BlockTemplate {
         let budget = self.weight_budget();
+        if priorities.is_empty() {
+            self.incremental_hits += 1;
+            let selected = self.select_norm_cursor(mempool, budget);
+            return self.order_and_finish(mempool, priorities, selected);
+        }
+        self.full_rebuilds += 1;
         let mut selected: Vec<Txid> = Vec::new();
-        let mut selected_set: HashSet<Txid> = HashSet::new();
+        let mut selected_set: FastSet<Txid> = FastSet::default();
         let mut used_weight = 0u64;
         // Remaining package score per candidate: self + every *unselected*
         // in-pool ancestor. A sparse overlay over the pool's cached
         // ancestor totals: an absent key means "nothing selected out of
         // this package yet", so the cached score is authoritative and no
         // per-candidate seeding pass is needed.
-        let mut rem: HashMap<Txid, (u64, u64)> = HashMap::new();
+        let mut rem: FastMap<Txid, (u64, u64)> = FastMap::default();
 
         for phase in [Priority::Accelerate, Priority::Normal, Priority::Decelerate] {
             // A deviation phase with no transaction classified into it has
@@ -173,7 +244,7 @@ impl BlockAssembler {
             }
             self.select_phase_indexed(
                 mempool,
-                &priorities,
+                priorities,
                 phase,
                 budget,
                 &mut used_weight,
@@ -183,7 +254,136 @@ impl BlockAssembler {
             );
         }
 
-        self.order_and_finish(mempool, &priorities, selected)
+        self.order_and_finish(mempool, priorities, selected)
+    }
+
+    /// Greedy norm selection driven by the mempool's persistent
+    /// ancestor-score index — the incremental fast path for an all-Normal
+    /// template.
+    ///
+    /// The pool keeps its ancestor-score index sorted across blocks
+    /// (admission, RBF, eviction, and block connect each re-key only the
+    /// affected entries), so assembly starts from an already-sorted
+    /// candidate list instead of heapifying every resident: a static
+    /// cursor walks the index best-first while a side heap carries only
+    /// entries whose remaining package score deviates from their
+    /// block-start key (an ancestor got selected). Both feeds merge under
+    /// the exact [`HeapItem`] total order; a cursor entry whose key went
+    /// stale is requeued at its true score just as the reference's
+    /// stale-check requeues a popped heap copy, so the pop sequence — and
+    /// therefore the selection — is bit-identical to the reference walk.
+    fn select_norm_cursor(&self, mempool: &Mempool, budget: u64) -> Vec<Txid> {
+        let slots = mempool.slot_count();
+        let mut selected: Vec<Txid> = Vec::new();
+        let mut sel = vec![false; slots];
+        // Dense overlay of remaining package scores; `None` means the
+        // pool's cached ancestor totals are still authoritative.
+        let mut rem: Vec<Option<(u64, u64)>> = vec![None; slots];
+        let mut used = 0u64;
+        // Any package weighs at least the lightest resident transaction;
+        // once that cannot fit, nothing can. Same early exit as the phase
+        // selector, with the minimum maintained by the pool instead of
+        // scanned per block.
+        let Some(min_weight) = mempool.min_tx_weight() else {
+            return selected;
+        };
+        let score_at = |rem: &[Option<(u64, u64)>], h: TxHandle| -> PackageScore {
+            let e = mempool.entry_at(h);
+            let (fee, vsize) = rem[h.index()].unwrap_or_else(|| {
+                let (f, v) = e.ancestor_score();
+                (f.to_sat(), v)
+            });
+            PackageScore { fee, vsize, seq: e.sequence() }
+        };
+        let mut cursor = mempool.anc_score_iter().rev().peekable();
+        let mut modified: BinaryHeap<CursorItem> = BinaryHeap::new();
+        loop {
+            if budget - used < min_weight {
+                break; // no remaining package can fit
+            }
+            // Take the better of the two feeds under the heap total order.
+            let from_cursor: Option<CursorItem> = cursor.peek().map(|k| CursorItem {
+                score: PackageScore { fee: k.fee, vsize: k.vsize, seq: k.seq },
+                txid: k.txid,
+                handle: k.handle,
+            });
+            let use_cursor = match (&from_cursor, modified.peek()) {
+                (Some(c), Some(m)) => c > m,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let item = if use_cursor {
+                cursor.next();
+                from_cursor.expect("peeked")
+            } else {
+                modified.pop().expect("peeked")
+            };
+            let h = item.handle;
+            if sel[h.index()] {
+                continue; // already swept in as someone's ancestor
+            }
+            // Stale check: if an ancestor was selected since this copy was
+            // keyed (at block start for cursor entries, at push time for
+            // heap copies), requeue at the true remaining score and retry.
+            let score = score_at(&rem, h);
+            if score != item.score {
+                modified.push(CursorItem { score, txid: item.txid, handle: h });
+                continue;
+            }
+            // Gather the unselected ancestors + self, check the fit.
+            let mut package: Vec<TxHandle> = mempool
+                .ancestor_handles(h)
+                .into_iter()
+                .filter(|a| !sel[a.index()])
+                .collect();
+            package.push(h);
+            let weight: u64 =
+                package.iter().map(|t| mempool.entry_at(*t).tx().weight()).sum();
+            if used + weight > budget {
+                continue; // does not fit; try the next-best package
+            }
+            // Include ancestors before the child (topological within package).
+            package.sort_by_key(|t| {
+                (mempool.ancestor_handles(*t).len(), mempool.entry_at(*t).sequence())
+            });
+            for t in &package {
+                if !sel[t.index()] {
+                    sel[t.index()] = true;
+                    selected.push(mempool.entry_at(*t).txid());
+                }
+            }
+            used += weight;
+            // Every selected member leaves the remaining package of each
+            // of its unselected descendants.
+            for m in &package {
+                let e = mempool.entry_at(*m);
+                let (mfee, mvsize) = (e.fee().to_sat(), e.vsize());
+                for d in mempool.descendant_handles(*m) {
+                    if sel[d.index()] {
+                        continue;
+                    }
+                    let slot = rem[d.index()].get_or_insert_with(|| {
+                        let (f, v) = mempool.entry_at(d).ancestor_score();
+                        (f.to_sat(), v)
+                    });
+                    slot.0 -= mfee;
+                    slot.1 -= mvsize;
+                }
+            }
+            // Descendants of what we just took have new package scores.
+            for d in mempool.descendant_handles(h) {
+                if sel[d.index()] {
+                    continue;
+                }
+                modified.push(CursorItem {
+                    score: score_at(&rem, d),
+                    txid: mempool.entry_at(d).txid(),
+                    handle: d,
+                });
+            }
+        }
+        selected
     }
 
     /// Walk-based reference assembler: recomputes every package score from
@@ -198,7 +398,7 @@ impl BlockAssembler {
         let priorities = self.classify_priorities(mempool, classify);
         let budget = self.weight_budget();
         let mut selected: Vec<Txid> = Vec::new();
-        let mut selected_set: HashSet<Txid> = HashSet::new();
+        let mut selected_set: FastSet<Txid> = FastSet::default();
         let mut used_weight = 0u64;
         for phase in [Priority::Accelerate, Priority::Normal, Priority::Decelerate] {
             self.select_phase_reference(
@@ -216,14 +416,14 @@ impl BlockAssembler {
 
     /// Applies `classify` and propagates priorities along package edges
     /// (exclusion down, acceleration up, deceleration down).
-    fn classify_priorities<F>(&self, mempool: &Mempool, classify: F) -> HashMap<Txid, Priority>
+    fn classify_priorities<F>(&self, mempool: &Mempool, classify: F) -> FastMap<Txid, Priority>
     where
         F: Fn(&MempoolEntry) -> Priority,
     {
         // Sparse: only deviations from Normal are stored (the map is empty
         // for a norm-following pool), so lookups go through
         // [`BlockAssembler::prio`].
-        let mut priorities: HashMap<Txid, Priority> = HashMap::new();
+        let mut priorities: FastMap<Txid, Priority> = FastMap::default();
         for entry in mempool.iter() {
             let p = classify(entry);
             if p != Priority::Normal {
@@ -282,7 +482,7 @@ impl BlockAssembler {
 
     /// The effective priority of `txid` under a sparse priority map
     /// (absent means Normal).
-    fn prio(priorities: &HashMap<Txid, Priority>, txid: &Txid) -> Priority {
+    fn prio(priorities: &FastMap<Txid, Priority>, txid: &Txid) -> Priority {
         priorities.get(txid).copied().unwrap_or(Priority::Normal)
     }
 
@@ -314,26 +514,40 @@ impl BlockAssembler {
     fn select_phase_indexed(
         &self,
         mempool: &Mempool,
-        priorities: &HashMap<Txid, Priority>,
+        priorities: &FastMap<Txid, Priority>,
         phase: Priority,
         budget: u64,
         used_weight: &mut u64,
         selected: &mut Vec<Txid>,
-        selected_set: &mut HashSet<Txid>,
-        rem: &mut HashMap<Txid, (u64, u64)>,
+        selected_set: &mut FastSet<Txid>,
+        rem: &mut FastMap<Txid, (u64, u64)>,
     ) {
         // Downward sweep: everything below a disallowed unselected
-        // transaction is unpackageable this phase.
-        let mut blocked: HashSet<Txid> = HashSet::new();
+        // transaction is unpackageable this phase. The priority map is
+        // sparse (absent = Normal), so for the Accelerate and Normal
+        // phases every possible seed is a map key — the Accelerate phase
+        // only refuses Exclude, the Normal phase refuses every non-Normal
+        // priority — and the sweep can seed off the map instead of
+        // scanning the whole pool. Only the Decelerate phase (which
+        // refuses the unselected Normal majority) still needs the scan.
+        let mut blocked: FastSet<Txid> = FastSet::default();
         let mut stack: Vec<Txid> = Vec::new();
-        for entry in mempool.iter() {
-            let txid = entry.txid();
-            if selected_set.contains(&txid) {
-                continue;
+        if phase == Priority::Decelerate {
+            for entry in mempool.iter() {
+                let txid = entry.txid();
+                if selected_set.contains(&txid) {
+                    continue;
+                }
+                let p = Self::prio(priorities, &txid);
+                if !Self::phase_allows(phase, p) {
+                    stack.push(txid);
+                }
             }
-            let p = Self::prio(priorities, &txid);
-            if !Self::phase_allows(phase, p) {
-                stack.push(txid);
+        } else {
+            for (txid, p) in priorities {
+                if !Self::phase_allows(phase, *p) && !selected_set.contains(txid) {
+                    stack.push(*txid);
+                }
             }
         }
         while let Some(t) = stack.pop() {
@@ -344,7 +558,7 @@ impl BlockAssembler {
             }
         }
 
-        let score_of = |rem: &HashMap<Txid, (u64, u64)>, txid: &Txid| -> PackageScore {
+        let score_of = |rem: &FastMap<Txid, (u64, u64)>, txid: &Txid| -> PackageScore {
             let e = mempool.get(txid).expect("resident");
             let (fee, vsize) = rem.get(txid).copied().unwrap_or_else(|| {
                 let (f, v) = e.ancestor_score();
@@ -360,16 +574,38 @@ impl BlockAssembler {
         // candidate can possibly fit, instead of walk-checking the whole
         // remaining heap — pure early exit, selections are unchanged.
         let mut min_weight = u64::MAX;
-        for entry in mempool.iter() {
-            let txid = entry.txid();
-            if Self::prio(priorities, &txid) != phase
-                || selected_set.contains(&txid)
-                || blocked.contains(&txid)
-            {
-                continue;
-            }
+        let mut push_candidate = |entry: &MempoolEntry, txid: Txid| {
             min_weight = min_weight.min(entry.tx().weight());
-            heap.push(HeapItem { score: score_of(rem, &txid), txid });
+            let (fee, vsize) = rem.get(&txid).copied().unwrap_or_else(|| {
+                let (f, v) = entry.ancestor_score();
+                (f.to_sat(), v)
+            });
+            heap.push(HeapItem {
+                score: PackageScore { fee, vsize, seq: entry.sequence() },
+                txid,
+            });
+        };
+        if phase == Priority::Normal {
+            // Normal candidates are everything *not* in the sparse map.
+            for entry in mempool.iter() {
+                let txid = entry.txid();
+                if priorities.contains_key(&txid)
+                    || selected_set.contains(&txid)
+                    || blocked.contains(&txid)
+                {
+                    continue;
+                }
+                push_candidate(entry, txid);
+            }
+        } else {
+            // Deviation-phase candidates are exactly the map keys of that
+            // priority: iterate the sparse map, not the pool.
+            for (txid, p) in priorities {
+                if *p != phase || selected_set.contains(txid) || blocked.contains(txid) {
+                    continue;
+                }
+                push_candidate(mempool.get(txid).expect("classified txs resident"), *txid);
+            }
         }
         while let Some(item) = heap.pop() {
             if budget - *used_weight < min_weight {
@@ -445,12 +681,12 @@ impl BlockAssembler {
     fn select_phase_reference(
         &self,
         mempool: &Mempool,
-        priorities: &HashMap<Txid, Priority>,
+        priorities: &FastMap<Txid, Priority>,
         phase: Priority,
         budget: u64,
         used_weight: &mut u64,
         selected: &mut Vec<Txid>,
-        selected_set: &mut HashSet<Txid>,
+        selected_set: &mut FastSet<Txid>,
     ) {
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
         for entry in mempool.iter() {
@@ -523,8 +759,8 @@ impl BlockAssembler {
         &self,
         mempool: &Mempool,
         txid: &Txid,
-        selected_set: &HashSet<Txid>,
-        priorities: &HashMap<Txid, Priority>,
+        selected_set: &FastSet<Txid>,
+        priorities: &FastMap<Txid, Priority>,
         phase: Priority,
     ) -> Option<PackageScore> {
         let entry = mempool.get(txid)?;
@@ -555,10 +791,10 @@ impl BlockAssembler {
     fn order_and_finish(
         &self,
         mempool: &Mempool,
-        priorities: &HashMap<Txid, Priority>,
+        priorities: &FastMap<Txid, Priority>,
         selected: Vec<Txid>,
     ) -> BlockTemplate {
-        let selected_set: HashSet<Txid> = selected.iter().copied().collect();
+        let selected_set: FastSet<Txid> = selected.iter().copied().collect();
         // Kahn's algorithm with a priority queue: among transactions whose
         // selected parents are all placed, place the one with the best
         // (segment, fee rate, arrival) key.
@@ -598,11 +834,11 @@ impl BlockAssembler {
                 _ => 1,
             }
         };
-        let mut pending_parents: HashMap<Txid, usize> = HashMap::new();
+        let mut pending_parents: FastMap<Txid, usize> = FastMap::default();
         for txid in &selected {
             // Distinct parents: a child may spend several outputs of one
             // parent, which still counts as a single placement dependency.
-            let parents: HashSet<Txid> = mempool
+            let parents: FastSet<Txid> = mempool
                 .get(txid)
                 .expect("resident")
                 .tx()
@@ -716,7 +952,7 @@ mod tests {
         add_at_rate(&mut pool, tx_with(1, 1_000), 10, 0);
         add_at_rate(&mut pool, tx_with(2, 1_000), 30, 1);
         add_at_rate(&mut pool, tx_with(3, 1_000), 20, 2);
-        let assembler = BlockAssembler::new(small);
+        let mut assembler = BlockAssembler::new(small);
         let tpl = assembler.assemble(&pool, |_| Priority::Normal);
         assert_eq!(tpl.len(), 2);
         assert!(tpl.total_weight <= assembler.weight_budget());

@@ -61,7 +61,7 @@ fn random_mempool(seed: u64) -> Mempool {
     mempool
 }
 
-fn assert_templates_identical(assembler: &BlockAssembler, mempool: &Mempool, seed: u64) {
+fn assert_templates_identical(assembler: &mut BlockAssembler, mempool: &Mempool, seed: u64) {
     let fast = assembler.assemble(mempool, |e| classify_by_txid(&e.txid()));
     let reference = assembler.assemble_reference(mempool, |e| classify_by_txid(&e.txid()));
     let fast_ids: Vec<Txid> = fast.transactions.iter().map(|t| t.txid()).collect();
@@ -74,9 +74,9 @@ fn assert_templates_identical(assembler: &BlockAssembler, mempool: &Mempool, see
 
 #[test]
 fn indexed_assembler_matches_reference_when_everything_fits() {
-    let assembler = BlockAssembler::new(Params::mainnet());
+    let mut assembler = BlockAssembler::new(Params::mainnet());
     for seed in 0..25 {
-        assert_templates_identical(&assembler, &random_mempool(seed), seed);
+        assert_templates_identical(&mut assembler, &random_mempool(seed), seed);
     }
 }
 
@@ -87,9 +87,9 @@ fn indexed_assembler_matches_reference_under_contention() {
     // at the boundary.
     let mut params = Params::mainnet();
     params.max_block_weight = 120_000;
-    let assembler = BlockAssembler::new(params);
+    let mut assembler = BlockAssembler::new(params);
     for seed in 100..125 {
-        assert_templates_identical(&assembler, &random_mempool(seed), seed);
+        assert_templates_identical(&mut assembler, &random_mempool(seed), seed);
     }
 }
 
@@ -99,7 +99,7 @@ fn indexed_assembler_matches_reference_norm_only() {
     // majority of simulated pools run; cover it separately.
     let mut params = Params::mainnet();
     params.max_block_weight = 200_000;
-    let assembler = BlockAssembler::new(params);
+    let mut assembler = BlockAssembler::new(params);
     for seed in 200..215 {
         let mempool = random_mempool(seed);
         let fast = assembler.assemble(&mempool, |_| Priority::Normal);

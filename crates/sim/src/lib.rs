@@ -36,4 +36,4 @@ pub use congestion::CongestionProfile;
 pub use profile::SimProfile;
 pub use scenario::{PoolBehavior, PoolConfig, ScamConfig, Scenario};
 pub use truth::GroundTruth;
-pub use world::{SimOutput, World};
+pub use world::{SimOutput, World, WorldCheckpoint};

@@ -29,6 +29,12 @@ pub struct SimProfile {
     pub blocks: u64,
     /// Snapshot ticks handled (recorded or lost to observer downtime).
     pub snapshot_ticks: u64,
+    /// Templates built on the assembler's incremental all-Normal fast
+    /// path, summed over every pool in the run.
+    pub assembly_incremental_hits: u64,
+    /// Templates that needed the assembler's full classify-and-rebuild
+    /// path, summed over every pool in the run.
+    pub assembly_full_rebuilds: u64,
     /// Wall-clock seconds for the whole run.
     pub wall: f64,
     /// Seconds building and booking workload transactions (fee sampling,

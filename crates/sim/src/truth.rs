@@ -5,8 +5,7 @@
 //! it injected, so every audit metric in `cn-core` can be scored for
 //! precision and recall.
 
-use cn_chain::{Address, Amount, Timestamp, Txid};
-use std::collections::{HashMap, HashSet};
+use cn_chain::{Address, Amount, FastMap, FastSet, Timestamp, Txid};
 
 /// Why a transaction exists, from the generator's point of view.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,10 +24,10 @@ pub enum TxKind {
 /// Ground-truth labels accumulated during a run.
 #[derive(Clone, Debug, Default)]
 pub struct GroundTruth {
-    kinds: HashMap<Txid, TxKind>,
-    issue_times: HashMap<Txid, Timestamp>,
-    public_fees: HashMap<Txid, Amount>,
-    accelerated: HashMap<Txid, (String, Amount)>,
+    kinds: FastMap<Txid, TxKind>,
+    issue_times: FastMap<Txid, Timestamp>,
+    public_fees: FastMap<Txid, Amount>,
+    accelerated: FastMap<Txid, (String, Amount)>,
     scam_address: Option<Address>,
 }
 
@@ -81,12 +80,12 @@ impl GroundTruth {
     }
 
     /// All accelerated txids.
-    pub fn accelerated_txids(&self) -> HashSet<Txid> {
+    pub fn accelerated_txids(&self) -> FastSet<Txid> {
         self.accelerated.keys().copied().collect()
     }
 
     /// All txids of a given pool's self-interest transactions.
-    pub fn self_interest_txids(&self, pool: &str) -> HashSet<Txid> {
+    pub fn self_interest_txids(&self, pool: &str) -> FastSet<Txid> {
         self.kinds
             .iter()
             .filter(|(_, k)| matches!(k, TxKind::SelfInterest { pool: p } if p == pool))
@@ -95,7 +94,7 @@ impl GroundTruth {
     }
 
     /// All scam-donation txids.
-    pub fn scam_txids(&self) -> HashSet<Txid> {
+    pub fn scam_txids(&self) -> FastSet<Txid> {
         self.kinds
             .iter()
             .filter(|(_, k)| **k == TxKind::Scam)
@@ -141,9 +140,9 @@ mod tests {
         assert!(t.is_accelerated(&txid(1)));
         assert!(!t.is_accelerated(&txid(2)));
         assert_eq!(t.acceleration(&txid(1)), Some(("BTC.com", Amount::from_sat(90_000))));
-        assert_eq!(t.self_interest_txids("ViaBTC"), HashSet::from([txid(2)]));
+        assert_eq!(t.self_interest_txids("ViaBTC"), FastSet::from_iter([txid(2)]));
         assert!(t.self_interest_txids("F2Pool").is_empty());
-        assert_eq!(t.scam_txids(), HashSet::from([txid(3)]));
+        assert_eq!(t.scam_txids(), FastSet::from_iter([txid(3)]));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use cn_chain::{Address, Amount, Block, Chain, FeeRate, OutPoint, Transaction, TxIn, TxOut, Txid};
 use cn_stats::{LogNormal, SimRng};
-use std::collections::HashMap;
+use cn_chain::FastMap;
 use std::sync::Arc;
 
 /// Dust threshold below which change is folded into the fee.
@@ -63,11 +63,11 @@ pub enum PaymentTarget {
 #[derive(Clone, Debug)]
 pub struct Workload {
     users: Vec<Address>,
-    outputs: HashMap<OutPoint, OutputMeta>,
+    outputs: FastMap<OutPoint, OutputMeta>,
     /// Per-owner outpoint lists; entries may be stale (validated on pop).
-    per_owner: HashMap<Address, Vec<OutPoint>>,
+    per_owner: FastMap<Address, Vec<OutPoint>>,
     /// Unconfirmed txids -> their not-yet-promoted outputs.
-    tx_outputs: HashMap<Txid, Vec<OutPoint>>,
+    tx_outputs: FastMap<Txid, Vec<OutPoint>>,
     payment_value: LogNormal,
     target_vsize: LogNormal,
     funding_counter: u64,
@@ -94,9 +94,9 @@ impl Workload {
                     }
                 })
                 .collect(),
-            outputs: HashMap::new(),
-            per_owner: HashMap::new(),
-            tx_outputs: HashMap::new(),
+            outputs: FastMap::default(),
+            per_owner: FastMap::default(),
+            tx_outputs: FastMap::default(),
             // Payments: median 0.002 BTC, heavy spread.
             payment_value: LogNormal::with_median(200_000.0, 1.2),
             // Virtual sizes: median 250 vB (the classic 1-in-2-out spans

@@ -6,7 +6,7 @@ use crate::profile::SimProfile;
 use crate::scenario::{PoolBehavior, Scenario};
 use crate::truth::{GroundTruth, TxKind};
 use crate::workload::{BuiltTx, PaymentTarget, Workload};
-use cn_chain::{Address, Amount, Chain, FeeRate, Timestamp, Txid};
+use cn_chain::{Address, Amount, Chain, FastMap, FeeRate, Timestamp, Txid};
 use cn_mempool::{FeeEstimator, MempoolPolicy, MempoolSnapshot};
 use cn_miner::{
     AccelerationService, AddressAccelerationPolicy, CensorPolicy, CompositePolicy, DarkFeePolicy,
@@ -15,7 +15,6 @@ use cn_miner::{
 use cn_net::{LatencyModel, Network, NodeId, NodeRole, RelayPayload, Topology};
 use cn_stats::{Exponential, LogNormal, SimRng, WeightedIndex};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -82,7 +81,7 @@ pub struct World {
     providers: Vec<usize>,
     /// Outstanding delivery bookkeeping: txid -> (pending deliveries,
     /// accepted everywhere so far).
-    delivery_state: HashMap<Txid, (usize, bool)>,
+    delivery_state: FastMap<Txid, (usize, bool)>,
     pool_picker: WeightedIndex,
     /// Stakeholder nodes (observer + miner hubs), sorted and deduped once —
     /// every broadcast fans out to exactly this set.
@@ -100,21 +99,41 @@ pub struct World {
     profile: SimProfile,
 }
 
-impl World {
-    /// Builds the world for a scenario.
+/// The fault-independent construction of a [`World`]: topology, link
+/// latencies, node roles, and the funding-seeded chain and workload.
+///
+/// None of these inputs read the scenario's `faults` or `name`, so a
+/// sweep that varies only fault intensity (like the robustness
+/// experiment) can build this once and [`fork`](WorldCheckpoint::fork)
+/// a fresh world per level instead of replaying topology sampling and
+/// chain seeding five times. Forked worlds are bit-identical to ones
+/// built directly with [`World::new`]: the topology RNG stream is a
+/// deterministic fork of the seed, and the per-run streams
+/// (transactions, mining, faults) are re-forked from the same root in
+/// `fork`, never shared.
+pub struct WorldCheckpoint {
+    seed: u64,
+    network: Network,
+    chain: Chain,
+    workload: Workload,
+    hub_of_pool: Vec<NodeId>,
+    observer: NodeId,
+    relay_count: usize,
+    stakeholders: Vec<NodeId>,
+}
+
+impl WorldCheckpoint {
+    /// Builds the shared construction for `base`.
     ///
     /// # Panics
     /// Panics when the scenario fails validation.
-    pub fn new(scenario: Scenario) -> World {
-        scenario.validate().unwrap_or_else(|e| panic!("invalid scenario: {e}"));
-        let root = SimRng::seed_from_u64(scenario.seed);
+    pub fn new(base: &Scenario) -> WorldCheckpoint {
+        base.validate().unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        let root = SimRng::seed_from_u64(base.seed);
         let mut rng_topo = root.fork("topology");
-        let rng_tx = root.fork("transactions");
-        let rng_mine = root.fork("mining");
-        let rng_fault = root.fork("faults");
-        let downtime_ms = scenario.faults.observer.downtime_windows_ms(scenario.duration * 1_000);
 
         // --- Node layout: relays | observer | hubs ------------------------
+        let scenario = base;
         let relay_count = scenario.relay_nodes.max(2);
         let observer: NodeId = relay_count;
         // Pools that accept low-fee transactions need their own hub (their
@@ -163,6 +182,56 @@ impl World {
             roles[observer + 1 + h] = NodeRole::MinerHub { pool: h, policy: *policy };
         }
         let network = Network::new(topology, latency, roles);
+
+        // --- Funding-seeded chain and workload ----------------------------
+        // Pool reward wallets are a pure function of the roster
+        // (name × wallet count), so the funding plan needs no constructed
+        // pools — forks rebuild those per run.
+        let mut chain = Chain::new(scenario.params.clone());
+        let mut workload = Workload::new(scenario.users);
+        let pool_wallets: Vec<Address> = scenario
+            .pools
+            .iter()
+            .flat_map(|p| MiningPool::derive_wallets(&p.name, p.wallet_count))
+            .collect();
+        workload.seed_funding(&mut chain, 6, Amount::from_btc(1), &pool_wallets);
+
+        let mut stakeholders: Vec<NodeId> = network.observers();
+        stakeholders.extend(network.miner_hubs().iter().map(|(n, _)| *n));
+        stakeholders.sort_unstable();
+        stakeholders.dedup();
+
+        WorldCheckpoint {
+            seed: scenario.seed,
+            network,
+            chain,
+            workload,
+            hub_of_pool,
+            observer,
+            relay_count,
+            stakeholders,
+        }
+    }
+
+    /// Builds a runnable [`World`] for `scenario` on top of this shared
+    /// construction. Only inputs the checkpoint never baked in may vary:
+    /// the fault plan, the scenario name, the run duration, and the
+    /// traffic knobs drawn from the per-run RNG streams.
+    ///
+    /// # Panics
+    /// Panics when the scenario fails validation or disagrees with the
+    /// checkpoint on seed, relay-node count, or pool-roster size — the
+    /// baked topology and funding would silently misrepresent it.
+    pub fn fork(&self, scenario: Scenario) -> World {
+        scenario.validate().unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        assert_eq!(scenario.seed, self.seed, "checkpoint seed mismatch");
+        assert_eq!(scenario.relay_nodes.max(2), self.relay_count, "checkpoint relay-node mismatch");
+        assert_eq!(scenario.pools.len(), self.hub_of_pool.len(), "checkpoint pool-roster mismatch");
+        let root = SimRng::seed_from_u64(scenario.seed);
+        let rng_tx = root.fork("transactions");
+        let rng_mine = root.fork("mining");
+        let rng_fault = root.fork("faults");
+        let downtime_ms = scenario.faults.observer.downtime_windows_ms(scenario.duration * 1_000);
 
         // --- Pools, policies, services ------------------------------------
         let scam_address = Address::from_label(&format!("scam:{}", scenario.name));
@@ -222,43 +291,31 @@ impl World {
         let pool_picker =
             WeightedIndex::new(&scenario.pools.iter().map(|p| p.hash_rate).collect::<Vec<_>>());
 
-        // --- Workload ------------------------------------------------------
-        let mut chain = Chain::new(scenario.params.clone());
-        let mut workload = Workload::new(scenario.users);
-        let pool_wallets: Vec<Address> =
-            pools.iter().flat_map(|p| p.wallets().to_vec()).collect();
-        workload.seed_funding(&mut chain, 6, Amount::from_btc(1), &pool_wallets);
-
         let mut truth = GroundTruth::default();
         if scenario.scam.is_some() {
             truth.set_scam_address(scam_address);
         }
-
-        let mut stakeholders: Vec<NodeId> = network.observers();
-        stakeholders.extend(network.miner_hubs().iter().map(|(n, _)| *n));
-        stakeholders.sort_unstable();
-        stakeholders.dedup();
 
         World {
             estimator: FeeEstimator::new(12),
             scenario,
             rng_tx,
             rng_mine,
-            chain,
-            network,
+            chain: self.chain.clone(),
+            network: self.network.clone(),
             pools,
-            hub_of_pool,
-            observer,
-            relay_count,
-            workload,
+            hub_of_pool: self.hub_of_pool.clone(),
+            observer: self.observer,
+            relay_count: self.relay_count,
+            workload: self.workload.clone(),
             truth,
             snapshots: Vec::new(),
             services,
             block_miners: Vec::new(),
             providers,
-            delivery_state: HashMap::new(),
+            delivery_state: FastMap::default(),
             pool_picker,
-            stakeholders,
+            stakeholders: self.stakeholders.clone(),
             scam_address,
             snapshot_counter: 0,
             rng_fault,
@@ -266,6 +323,16 @@ impl World {
             orphaned_blocks: 0,
             profile: SimProfile::default(),
         }
+    }
+}
+
+impl World {
+    /// Builds the world for a scenario.
+    ///
+    /// # Panics
+    /// Panics when the scenario fails validation.
+    pub fn new(scenario: Scenario) -> World {
+        WorldCheckpoint::new(&scenario).fork(scenario)
     }
 
     /// Runs the scenario to completion and returns its artifacts.
@@ -379,6 +446,11 @@ impl World {
             }
         }
         self.profile.wall = run_started.elapsed().as_secs_f64();
+        for pool in &self.pools {
+            let (hits, rebuilds) = pool.assembly_stats();
+            self.profile.assembly_incremental_hits += hits;
+            self.profile.assembly_full_rebuilds += rebuilds;
+        }
 
         SimOutput {
             pool_names: self.pools.iter().map(|p| p.name().to_string()).collect(),
@@ -768,6 +840,35 @@ mod tests {
         assert_eq!(a.chain.tip_hash(), b.chain.tip_hash());
         assert_eq!(a.snapshots.len(), b.snapshots.len());
         assert_eq!(a.block_miners, b.block_miners);
+    }
+
+    #[test]
+    fn checkpoint_fork_matches_direct_construction() {
+        // Fork-and-replay must be invisible in the output: a world forked
+        // off a shared checkpoint produces the same chain, snapshots, and
+        // miner sequence as one built from scratch — including when the
+        // fork varies the fault plan and name, the robustness sweep's
+        // exact usage.
+        let base = quick_scenario(11);
+        let checkpoint = WorldCheckpoint::new(&base);
+        for intensity in [0.0, 0.6] {
+            let mut scenario = quick_scenario(11);
+            scenario.name = format!("fork-{intensity:.2}");
+            scenario.faults = cn_net::FaultPlan::scaled(intensity);
+            let direct = World::new(scenario.clone()).run();
+            let forked = checkpoint.fork(scenario).run();
+            assert_eq!(direct.chain.tip_hash(), forked.chain.tip_hash());
+            assert_eq!(direct.block_miners, forked.block_miners);
+            assert_eq!(direct.snapshots.len(), forked.snapshots.len());
+            assert_eq!(direct.orphaned_blocks, forked.orphaned_blocks);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint seed mismatch")]
+    fn checkpoint_rejects_foreign_seed() {
+        let checkpoint = WorldCheckpoint::new(&quick_scenario(1));
+        let _ = checkpoint.fork(quick_scenario(2));
     }
 
     #[test]

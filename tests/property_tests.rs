@@ -202,7 +202,7 @@ proptest! {
             max_block_weight: budget_blocks * 40_000,
             ..Params::mainnet()
         };
-        let assembler = BlockAssembler::new(params);
+        let mut assembler = BlockAssembler::new(params);
         let tpl = assembler.assemble(&pool, |_| Priority::Normal);
         // Weight budget respected.
         prop_assert!(tpl.total_weight <= assembler.weight_budget());
