@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--quick] [--serial] all
+//! experiments [--quick] [--serial] [--verify] all
 //! experiments [--quick] table2 fig7 ...
 //! experiments --list
 //! ```
@@ -9,12 +9,19 @@
 //! Experiments run on a worker pool (one thread per available core, capped
 //! at the number of ids); output is buffered per experiment and printed in
 //! presentation order, so parallel runs are byte-identical to `--serial`
-//! runs modulo the wall-clock figures in `[... took ...]` lines. Each run
-//! also writes `BENCH_pipeline.json` with per-dataset simulation times,
-//! per-experiment times, and total wall time — the perf trajectory every
-//! future change is measured against.
+//! runs modulo the wall-clock figures in `[... took ...]` lines. On a box
+//! with fewer than two workers the pool is skipped entirely — a plain
+//! in-thread loop produces the same bytes without paying for the queue and
+//! condvar machinery; `BENCH_pipeline.json` records which mode ran. Each
+//! run also writes `BENCH_pipeline.json` with per-dataset simulation
+//! times, per-experiment times, and total wall time — the perf trajectory
+//! every future change is measured against.
 //!
-//! Output is printed and mirrored to `results/<id>.txt`.
+//! Output is printed and mirrored to `results/<id>.txt`. With `--verify`,
+//! each freshly generated report is first compared byte-for-byte against
+//! the checked-in `results/<id>.txt`; any mismatch fails the run (exit 3)
+//! after all experiments finish, making golden drift visible in CI before
+//! the files are refreshed.
 
 use cn_bench::{run_experiment, Lab, ALL_IDS, DATASET_NAMES};
 use std::fmt::Write as _;
@@ -30,10 +37,13 @@ use std::time::{Duration, Instant};
 /// stale one (the pre-overhaul origin was 49.029 s; earlier refreshes read
 /// 17.1 s before the hardware-hash and scheduler work landed, then
 /// 13.182 s before the incremental-assembly and fork-and-replay work —
-/// though the box itself had also drifted ~20 % slower by the time of the
-/// current reading, so the true engine delta is larger than the two
-/// figures suggest).
-const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 10.667;
+/// though the box itself had also drifted ~20 % slower by the time of that
+/// reading, so the true engine delta is larger than the two figures
+/// suggest). The current figure reflects the observer-fleet growth: a 23rd
+/// experiment (`observer_fleet`, four adversary worlds with an 8-observer
+/// fleet) plus per-observer bookkeeping in every sim — the suite gained
+/// workload, not regressions.
+const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 32.704;
 
 /// Checked-in wall-time anchor CI gates against (`ci/bench_baseline_wall_seconds.txt`).
 /// Read at runtime so the emitted speedup always compares to the same number
@@ -61,7 +71,8 @@ fn main() {
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
-    let serial = args.iter().any(|a| a == "--serial");
+    let serial_flag = args.iter().any(|a| a == "--serial");
+    let verify = args.iter().any(|a| a == "--verify");
     let mut ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
     if run_all {
@@ -71,82 +82,144 @@ fn main() {
     let _ = std::fs::create_dir_all("results");
 
     let wall_started = Instant::now();
+    // Detected once, recorded in BENCH_pipeline.json next to the count
+    // actually used — a 1-worker record on a 16-core box is a probe bug,
+    // not a measurement.
+    let detected = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Adaptive pool: with fewer than two workers the pool's shared
+    // counter, slot mutex, and condvar buy nothing, so fall back to the
+    // plain loop a `--serial` run uses. The JSON records "serial-auto" so
+    // a trajectory reader can tell a constrained box from a deliberate
+    // serial measurement.
+    let auto_serial = !serial_flag && detected < 2;
+    let serial = serial_flag || auto_serial;
+    let mode = if serial_flag {
+        "serial"
+    } else if auto_serial {
+        "serial-auto"
+    } else {
+        "parallel"
+    };
     // Warm all three datasets concurrently when the whole suite runs (it
     // touches all of them anyway); targeted invocations stay lazy so e.g.
     // `experiments fig1` never pays for dataset 𝒞.
     if run_all && !serial {
         lab.prewarm();
     }
-
-    // Detected once, recorded in BENCH_pipeline.json next to the count
-    // actually used — a 1-worker record on a 16-core box is a probe bug,
-    // not a measurement.
-    let detected = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let workers = if serial { 1 } else { detected.min(ids.len()).max(1) };
 
-    // Worker pool with order-preserving output: workers claim ids from a
-    // shared counter and park finished reports in `slots`; the main thread
-    // prints slot i only after slots 0..i, so stdout matches a serial run.
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
-    let ready = Condvar::new();
-
     let mut failed = false;
+    let mut verify_failures: Vec<String> = Vec::new();
     let mut experiment_secs: Vec<(String, f64)> = Vec::with_capacity(ids.len());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= ids.len() {
-                    break;
-                }
-                let started = Instant::now();
-                let report = run_experiment(&ids[i], &lab);
-                let slot = Slot { report, elapsed: started.elapsed() };
-                let mut guard = slots.lock().expect("slot mutex");
-                guard[i] = Some(slot);
-                ready.notify_all();
-            });
+    if serial {
+        // In-thread loop: same ids, same order, same bytes as the pool.
+        for id in &ids {
+            let started = Instant::now();
+            let report = run_experiment(id, &lab);
+            let slot = Slot { report, elapsed: started.elapsed() };
+            emit_report(id, slot, verify, &mut failed, &mut verify_failures, &mut experiment_secs);
         }
-        for (i, id) in ids.iter().enumerate() {
-            let slot = {
-                let mut guard = slots.lock().expect("slot mutex");
-                loop {
-                    if let Some(slot) = guard[i].take() {
-                        break slot;
+    } else {
+        // Worker pool with order-preserving output: workers claim ids
+        // from a shared counter and park finished reports in `slots`; the
+        // main thread prints slot i only after slots 0..i, so stdout
+        // matches a serial run.
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..ids.len()).map(|_| None).collect());
+        let ready = Condvar::new();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ids.len() {
+                        break;
                     }
-                    guard = ready.wait(guard).expect("slot mutex");
-                }
-            };
-            match slot.report {
-                Some(report) => {
-                    println!("==================== {id} ====================");
-                    println!("{report}");
-                    println!("[{id} took {:.1?}]", slot.elapsed);
-                    experiment_secs.push((id.clone(), slot.elapsed.as_secs_f64()));
-                    match std::fs::File::create(format!("results/{id}.txt")) {
-                        Ok(mut f) => {
-                            let _ = f.write_all(report.as_bytes());
-                        }
-                        Err(e) => eprintln!("warning: could not write results/{id}.txt: {e}"),
-                    }
-                }
-                None => {
-                    eprintln!("unknown experiment id: {id} (use --list)");
-                    failed = true;
-                }
+                    let started = Instant::now();
+                    let report = run_experiment(&ids[i], &lab);
+                    let slot = Slot { report, elapsed: started.elapsed() };
+                    let mut guard = slots.lock().expect("slot mutex");
+                    guard[i] = Some(slot);
+                    ready.notify_all();
+                });
             }
-        }
-    });
+            for (i, id) in ids.iter().enumerate() {
+                let slot = {
+                    let mut guard = slots.lock().expect("slot mutex");
+                    loop {
+                        if let Some(slot) = guard[i].take() {
+                            break slot;
+                        }
+                        guard = ready.wait(guard).expect("slot mutex");
+                    }
+                };
+                emit_report(
+                    id,
+                    slot,
+                    verify,
+                    &mut failed,
+                    &mut verify_failures,
+                    &mut experiment_secs,
+                );
+            }
+        });
+    }
 
     let total_wall = wall_started.elapsed().as_secs_f64();
     if let Err(e) =
-        write_bench_json(&lab, quick, serial, detected, workers, &experiment_secs, total_wall)
+        write_bench_json(&lab, quick, mode, detected, workers, &experiment_secs, total_wall)
     {
         eprintln!("warning: could not write BENCH_pipeline.json: {e}");
     }
     if failed {
         std::process::exit(2);
+    }
+    if !verify_failures.is_empty() {
+        eprintln!("verify: {} experiment(s) drifted from results/: {}", verify_failures.len(), verify_failures.join(" "));
+        std::process::exit(3);
+    }
+}
+
+/// Prints one finished experiment, mirrors it to `results/<id>.txt`, and —
+/// under `--verify` — diffs it against the previously checked-in bytes
+/// first, so golden drift is detected before the file is refreshed.
+fn emit_report(
+    id: &str,
+    slot: Slot,
+    verify: bool,
+    failed: &mut bool,
+    verify_failures: &mut Vec<String>,
+    experiment_secs: &mut Vec<(String, f64)>,
+) {
+    match slot.report {
+        Some(report) => {
+            println!("==================== {id} ====================");
+            println!("{report}");
+            println!("[{id} took {:.1?}]", slot.elapsed);
+            experiment_secs.push((id.to_string(), slot.elapsed.as_secs_f64()));
+            if verify {
+                match std::fs::read_to_string(format!("results/{id}.txt")) {
+                    Ok(golden) if golden == report => {}
+                    Ok(_) => {
+                        eprintln!("verify: {id} output differs from checked-in results/{id}.txt");
+                        verify_failures.push(id.to_string());
+                    }
+                    Err(e) => {
+                        eprintln!("verify: could not read results/{id}.txt: {e}");
+                        verify_failures.push(id.to_string());
+                    }
+                }
+            }
+            match std::fs::File::create(format!("results/{id}.txt")) {
+                Ok(mut f) => {
+                    let _ = f.write_all(report.as_bytes());
+                }
+                Err(e) => eprintln!("warning: could not write results/{id}.txt: {e}"),
+            }
+        }
+        None => {
+            eprintln!("unknown experiment id: {id} (use --list)");
+            *failed = true;
+        }
     }
 }
 
@@ -154,7 +227,7 @@ fn main() {
 fn write_bench_json(
     lab: &Lab,
     quick: bool,
-    serial: bool,
+    mode: &str,
     workers_detected: usize,
     workers_used: usize,
     experiment_secs: &[(String, f64)],
@@ -162,12 +235,13 @@ fn write_bench_json(
 ) -> std::io::Result<()> {
     let mut json = String::new();
     json.push_str("{\n");
-    // Schema 2: adds per-dataset assembly counters and the checked-in
-    // single-thread speedup field. Bump on any key change so trajectory
+    // Schema 3: adds per-observer snapshot/degraded counters, the fleet
+    // subsystem-seconds slot, and the tri-state mode
+    // (serial/serial-auto/parallel). Bump on any key change so trajectory
     // tooling can tell versions apart without sniffing.
-    json.push_str("  \"schema\": 2,\n");
+    json.push_str("  \"schema\": 3,\n");
     let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "full" });
-    let _ = writeln!(json, "  \"mode\": \"{}\",", if serial { "serial" } else { "parallel" });
+    let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"workers_detected\": {workers_detected},");
     let _ = writeln!(json, "  \"workers_used\": {workers_used},");
     json.push_str("  \"dataset_sim_seconds\": {\n");
@@ -188,7 +262,7 @@ fn write_bench_json(
     let profiles = lab.sim_profiles();
     for (i, name) in DATASET_NAMES.iter().enumerate() {
         let comma = if i + 1 < DATASET_NAMES.len() { "," } else { "" };
-        match profiles[i] {
+        match &profiles[i] {
             Some(p) => {
                 let _ = writeln!(json, "    \"{name}\": {{");
                 let _ = writeln!(json, "      \"events_popped\": {},", p.events_popped);
@@ -198,6 +272,8 @@ fn write_bench_json(
                 let _ = writeln!(json, "      \"self_txs\": {},", p.self_txs);
                 let _ = writeln!(json, "      \"blocks\": {},", p.blocks);
                 let _ = writeln!(json, "      \"snapshot_ticks\": {},", p.snapshot_ticks);
+                let _ = writeln!(json, "      \"observer_snapshots\": {:?},", p.observer_snapshots);
+                let _ = writeln!(json, "      \"observer_degraded\": {:?},", p.observer_degraded);
                 let _ = writeln!(
                     json,
                     "      \"assembly_incremental_hits\": {},",
@@ -214,7 +290,8 @@ fn write_bench_json(
                 let _ = writeln!(json, "        \"faults\": {:.3},", p.faults);
                 let _ = writeln!(json, "        \"mempool\": {:.3},", p.mempool);
                 let _ = writeln!(json, "        \"assembly\": {:.3},", p.assembly);
-                let _ = writeln!(json, "        \"snapshot\": {:.3}", p.snapshot);
+                let _ = writeln!(json, "        \"snapshot\": {:.3},", p.snapshot);
+                let _ = writeln!(json, "        \"fleet\": {:.3}", p.fleet);
                 let _ = writeln!(json, "      }}");
                 let _ = writeln!(json, "    }}{comma}");
             }

@@ -55,7 +55,7 @@ pub fn table5(lab: &Lab) -> String {
         // Snapshots are irrelevant to revenue; keep them light and bound
         // the observer so heavy-demand eras stay in memory.
         s.snapshot_detail_every = 240;
-        s.observer_max_mempool_vsize = Some(25 * s.params.max_block_vsize());
+        s.observers[0].max_mempool_vsize = Some(25 * s.params.max_block_vsize());
         s.users = 250;
         s.relay_nodes = 10;
         s.miner_hubs = 2;

@@ -41,13 +41,13 @@ const DARKFEE_THRESHOLD: f64 = 90.0;
 /// (alpha 0.01 vs 0.001, owners tested from 5 self-interest txs) so the
 /// zero-fault row starts with measurable recall on a short span — the
 /// sweep studies *degradation*, which needs a baseline above zero.
-fn sweep_config() -> AuditConfig {
+pub(crate) fn sweep_config() -> AuditConfig {
     AuditConfig { alpha: 0.01, sppe_threshold: DARKFEE_THRESHOLD, top_k: 20, min_c_txs: 5 }
 }
 
 /// (owner, miner) acceleration pairs the scenario actually configures —
 /// the ground truth the audit findings are scored against.
-fn truth_pairs(scenario: &Scenario) -> HashSet<(String, String)> {
+pub(crate) fn truth_pairs(scenario: &Scenario) -> HashSet<(String, String)> {
     let mut pairs = HashSet::new();
     for pool in &scenario.pools {
         for behavior in &pool.behaviors {
@@ -68,7 +68,7 @@ fn truth_pairs(scenario: &Scenario) -> HashSet<(String, String)> {
 }
 
 /// (owner, miner) pairs flagged by the audit.
-fn detected_pairs(findings: &[Finding]) -> HashSet<(String, String)> {
+pub(crate) fn detected_pairs(findings: &[Finding]) -> HashSet<(String, String)> {
     findings
         .iter()
         .filter_map(|f| match f {
@@ -81,7 +81,7 @@ fn detected_pairs(findings: &[Finding]) -> HashSet<(String, String)> {
         .collect()
 }
 
-fn precision_recall(
+pub(crate) fn precision_recall(
     detected: &HashSet<(String, String)>,
     truth: &HashSet<(String, String)>,
 ) -> (f64, f64) {

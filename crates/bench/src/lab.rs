@@ -115,9 +115,9 @@ impl Lab {
     /// in [`DATASET_NAMES`] order; `None` for datasets never requested.
     pub fn sim_profiles(&self) -> [Option<SimProfile>; DATASET_COUNT] {
         [
-            self.cells[0].get().map(|(out, _)| out.profile),
-            self.cells[1].get().map(|(out, _)| out.profile),
-            self.cells[2].get().map(|(out, _)| out.profile),
+            self.cells[0].get().map(|(out, _)| out.profile.clone()),
+            self.cells[1].get().map(|(out, _)| out.profile.clone()),
+            self.cells[2].get().map(|(out, _)| out.profile.clone()),
         ]
     }
 }

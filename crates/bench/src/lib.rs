@@ -15,6 +15,7 @@
 
 pub mod exp_datasets;
 pub mod exp_extensions;
+pub mod exp_fleet;
 pub mod exp_misbehavior;
 pub mod exp_norms;
 pub mod exp_revenue;
@@ -28,7 +29,7 @@ pub const ALL_IDS: &[&str] = &[
     "fig1", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
     "table3", "table4", "table5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     // Extensions beyond the numbered artifacts:
-    "norm3", "harm", "robustness",
+    "norm3", "harm", "robustness", "observer_fleet",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -56,6 +57,7 @@ pub fn run_experiment(id: &str, lab: &Lab) -> Option<String> {
         "norm3" => exp_extensions::norm3(lab),
         "harm" => exp_extensions::harm(lab),
         "robustness" => exp_robustness::robustness(lab),
+        "observer_fleet" => exp_fleet::observer_fleet(lab),
         _ => return None,
     })
 }
@@ -70,10 +72,10 @@ mod tests {
         // Only check id resolution here — actually running them is the
         // integration tests' job (they are expensive).
         assert!(run_experiment("nope", &lab).is_none());
-        assert_eq!(ALL_IDS.len(), 22);
+        assert_eq!(ALL_IDS.len(), 23);
         let mut ids: Vec<&&str> = ALL_IDS.iter().collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 22, "ids must be unique");
+        assert_eq!(ids.len(), 23, "ids must be unique");
     }
 }

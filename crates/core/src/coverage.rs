@@ -26,6 +26,10 @@ pub struct SnapshotCoverage {
     pub present_detailed: u64,
     /// Present detailed snapshots whose dump was cut off partway.
     pub truncated_detailed: u64,
+    /// Windows recorded while the observer's view was known-compromised
+    /// (e.g. inside an eclipse window). The rows are real observations,
+    /// but the backlog they show is frozen, so confidence discounts them.
+    pub degraded_windows: u64,
     /// Distinct transactions appearing in any detailed snapshot.
     pub txs_observed: usize,
     /// Transactions confirmed on the audited chain (0 when no chain was
@@ -48,6 +52,7 @@ impl SnapshotCoverage {
         let detailed: Vec<&MempoolSnapshot> =
             snapshots.iter().filter(|s| s.is_detailed()).collect();
         let truncated_detailed = detailed.iter().filter(|s| s.is_truncated()).count() as u64;
+        let degraded_windows = snapshots.iter().filter(|s| s.is_degraded()).count() as u64;
         let observed: FastSet<_> =
             detailed.iter().flat_map(|s| s.entries.iter().map(|e| e.txid)).collect();
         SnapshotCoverage {
@@ -56,6 +61,7 @@ impl SnapshotCoverage {
             expected_detailed,
             present_detailed: detailed.len() as u64,
             truncated_detailed,
+            degraded_windows,
             txs_observed: observed.len(),
             txs_confirmed: 0,
             confirmed_observed: 0,
@@ -87,6 +93,14 @@ impl SnapshotCoverage {
         ratio(self.present_detailed - self.truncated_detailed, self.expected_detailed)
     }
 
+    /// Fraction of expected windows that arrived with a healthy
+    /// (non-degraded) view. Equals [`SnapshotCoverage::window_fraction`]
+    /// when no window was degraded, so streams recorded before degraded
+    /// stamping existed score identically.
+    pub fn undegraded_fraction(&self) -> f64 {
+        ratio(self.present_windows.saturating_sub(self.degraded_windows), self.expected_windows)
+    }
+
     /// Fraction of confirmed transactions the observer saw pending
     /// (1.0 when no chain was joined — nothing contradicts the stream).
     pub fn confirmed_observed_fraction(&self) -> f64 {
@@ -98,10 +112,12 @@ impl SnapshotCoverage {
     }
 
     /// The single confidence number a report leads with: the weakest of
-    /// the window, detail, and chain-visibility fractions. 1.0 means the
-    /// stream is complete; anything lower flags a degraded audit.
+    /// the window, undegraded-window, detail, and chain-visibility
+    /// fractions. 1.0 means the stream is complete; anything lower flags
+    /// a degraded audit.
     pub fn confidence(&self) -> f64 {
         self.window_fraction()
+            .min(self.undegraded_fraction())
             .min(self.detail_fraction())
             .min(self.confirmed_observed_fraction())
     }
@@ -111,6 +127,7 @@ impl SnapshotCoverage {
         self.present_windows >= self.expected_windows
             && self.present_detailed >= self.expected_detailed
             && self.truncated_detailed == 0
+            && self.degraded_windows == 0
     }
 
     /// Renders the block appended to audit reports.
@@ -127,6 +144,15 @@ impl SnapshotCoverage {
             self.expected_detailed,
             self.truncated_detailed,
         );
+        // Mentioned only when present, so reports over healthy streams
+        // render byte-identically to before degraded stamping existed.
+        if self.degraded_windows > 0 {
+            let _ = writeln!(
+                out,
+                "          {} windows recorded with a degraded (eclipsed) view",
+                self.degraded_windows,
+            );
+        }
         let _ = writeln!(
             out,
             "          {} txs observed pending; {}/{} confirmed txs seen before commit ({:.1}%)",
@@ -240,6 +266,29 @@ mod tests {
             assert!(c <= last, "confidence rose from {last} to {c} removing {removed}");
             last = c;
         }
+    }
+
+    #[test]
+    fn degraded_windows_lower_confidence_without_hiding_rows() {
+        let snaps = vec![
+            detailed(15, &[1]),
+            detailed(30, &[2]).mark_degraded(),
+            detailed(45, &[3]).mark_degraded(),
+            detailed(60, &[4]),
+        ];
+        let cov = SnapshotCoverage::assess(&snaps, 4, 4);
+        assert_eq!(cov.degraded_windows, 2);
+        assert_eq!(cov.window_fraction(), 1.0, "degraded windows still count as present");
+        assert_eq!(cov.undegraded_fraction(), 0.5);
+        assert_eq!(cov.confidence(), 0.5);
+        assert!(!cov.is_complete());
+        assert_eq!(cov.txs_observed, 4, "degraded rows remain observations");
+        let s = cov.render();
+        assert!(s.contains("2 windows recorded with a degraded"), "{s}");
+        // A healthy stream renders without any degradation line at all.
+        let healthy = SnapshotCoverage::assess(&[detailed(15, &[1])], 1, 1);
+        assert!(!healthy.render().contains("degraded"));
+        assert!(healthy.is_complete());
     }
 
     #[test]

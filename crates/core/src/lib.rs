@@ -38,6 +38,11 @@
 //!   typed [`auditor::AuditReport`]; `audit_with_snapshots` additionally
 //!   consumes the observer stream and degrades gracefully when it is
 //!   damaged.
+//! * [`reconcile`] — cross-observer reconciliation: fuses an observer
+//!   *fleet*'s snapshot streams (union rows, min first-seen, unanimity
+//!   rules for degraded/truncated stamps), quantifies first-seen
+//!   disagreement between vantage points, and drives the standard audit
+//!   over the fused view (`reconcile::audit_with_fleet`).
 //! * [`error`], [`coverage`] — the typed failure taxonomy
 //!   ([`error::AuditError`]) and observation-coverage accounting
 //!   ([`coverage::SnapshotCoverage`]) behind degraded-data tolerance:
@@ -63,6 +68,7 @@ pub mod lowfee;
 pub mod pairs;
 pub mod ppe;
 pub mod prioritization;
+pub mod reconcile;
 pub mod report;
 pub mod self_interest;
 pub mod sppe;
@@ -76,4 +82,5 @@ pub use index::{BlockInfo, ChainIndex, TxRecord};
 pub use pairs::{count_violations_cdq, count_violations_reference, PairObservation, PairStats};
 pub use ppe::{block_ppe, chain_ppe, ppe_by_miner};
 pub use prioritization::{differential_prioritization, windowed_prioritization, DifferentialTest};
+pub use reconcile::{audit_with_fleet, reconcile, FirstSeenStats, FleetView, ObserverView};
 pub use sppe::{sppe_for_miner, tx_sppe};

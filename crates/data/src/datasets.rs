@@ -20,7 +20,7 @@ use cn_chain::{Params, Timestamp};
 use cn_mempool::MempoolPolicy;
 use cn_net::FaultPlan;
 use cn_sim::congestion::CongestionProfile;
-use cn_sim::scenario::{PoolBehavior, ScamConfig, Scenario};
+use cn_sim::scenario::{ObserverConfig, PoolBehavior, ScamConfig, Scenario};
 
 /// How much simulated time to spend.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,10 +66,14 @@ pub fn dataset_a(scale: Scale) -> Scenario {
     s.congestion = CongestionProfile::diurnal(0.56, 0.45)
         .with_burst(s.duration / 5, s.duration / 5 + s.duration / 18, 2.2)
         .with_burst(3 * s.duration / 5, 3 * s.duration / 5 + s.duration / 24, 2.0);
-    s.observer_policy = MempoolPolicy::default();
-    s.observer_peers = 8;
+    s.observers = vec![ObserverConfig {
+        label: "A-default".into(),
+        peers: 8,
+        policy: MempoolPolicy::default(),
+        max_mempool_vsize: Some(25 * s.params.max_block_vsize()),
+        latency_factor: 1.0,
+    }];
     s.snapshot_detail_every = scale.snapshot_detail_every();
-    s.observer_max_mempool_vsize = Some(25 * s.params.max_block_vsize());
     s.relay_nodes = 16;
     s.miner_hubs = 3;
     s.users = 300;
@@ -100,10 +104,14 @@ pub fn dataset_b(scale: Scale) -> Scenario {
     s.congestion = CongestionProfile::diurnal(0.56, 0.40)
         .with_burst(s.duration / 4, s.duration / 4 + s.duration / 12, 2.8)
         .with_burst(2 * s.duration / 3, 2 * s.duration / 3 + s.duration / 14, 3.2);
-    s.observer_policy = MempoolPolicy::accept_all();
-    s.observer_peers = 125;
+    s.observers = vec![ObserverConfig {
+        label: "B-wideopen".into(),
+        peers: 125,
+        policy: MempoolPolicy::accept_all(),
+        max_mempool_vsize: Some(25 * s.params.max_block_vsize()),
+        latency_factor: 1.0,
+    }];
     s.snapshot_detail_every = scale.snapshot_detail_every();
-    s.observer_max_mempool_vsize = Some(25 * s.params.max_block_vsize());
     s.relay_nodes = 16;
     s.miner_hubs = 3;
     s.users = 300;
@@ -163,10 +171,14 @@ pub fn dataset_c(scale: Scale) -> Scenario {
         .with_burst(s.duration / 6, s.duration / 6 + s.duration / 20, 2.4)
         .with_burst(s.duration / 2, s.duration / 2 + s.duration / 26, 2.0)
         .with_burst(4 * s.duration / 5, 4 * s.duration / 5 + s.duration / 20, 2.6);
-    s.observer_policy = MempoolPolicy::default();
-    s.observer_peers = 8;
+    s.observers = vec![ObserverConfig {
+        label: "C-default".into(),
+        peers: 8,
+        policy: MempoolPolicy::default(),
+        max_mempool_vsize: Some(25 * s.params.max_block_vsize()),
+        latency_factor: 1.0,
+    }];
     s.snapshot_detail_every = scale.snapshot_detail_every();
-    s.observer_max_mempool_vsize = Some(25 * s.params.max_block_vsize());
     s.relay_nodes = 16;
     s.miner_hubs = 4;
     s.users = 400;
@@ -231,9 +243,9 @@ mod tests {
     fn dataset_b_is_laxer_and_better_connected() {
         let a = dataset_a(Scale::Quick);
         let b = dataset_b(Scale::Quick);
-        assert_eq!(a.observer_policy, MempoolPolicy::default());
-        assert_eq!(b.observer_policy, MempoolPolicy::accept_all());
-        assert!(b.observer_peers > a.observer_peers);
+        assert_eq!(a.observers[0].policy, MempoolPolicy::default());
+        assert_eq!(b.observers[0].policy, MempoolPolicy::accept_all());
+        assert!(b.observers[0].peers > a.observers[0].peers);
         assert!(b.congestion.max_rate() > a.congestion.max_rate());
         assert!(b.zero_fee_prob > 0.0);
     }

@@ -53,6 +53,7 @@ pub struct MempoolSnapshot {
     pub entries: Arc<Vec<SnapshotEntry>>,
     detailed: bool,
     truncated: bool,
+    degraded: bool,
     count: usize,
     vsize: u64,
 }
@@ -63,7 +64,15 @@ impl MempoolSnapshot {
         entries.sort_by_key(|e| e.txid);
         let count = entries.len();
         let vsize = entries.iter().map(|e| e.vsize).sum();
-        MempoolSnapshot { time, entries: Arc::new(entries), detailed: true, truncated: false, count, vsize }
+        MempoolSnapshot {
+            time,
+            entries: Arc::new(entries),
+            detailed: true,
+            truncated: false,
+            degraded: false,
+            count,
+            vsize,
+        }
     }
 
     /// Builds a detailed snapshot over already-sorted shared rows whose
@@ -76,7 +85,15 @@ impl MempoolSnapshot {
         debug_assert!(entries.windows(2).all(|w| w[0].txid <= w[1].txid), "rows must be sorted");
         debug_assert_eq!(entries.iter().map(|e| e.vsize).sum::<u64>(), vsize);
         let count = entries.len();
-        MempoolSnapshot { time, entries, detailed: true, truncated: false, count, vsize }
+        MempoolSnapshot {
+            time,
+            entries,
+            detailed: true,
+            truncated: false,
+            degraded: false,
+            count,
+            vsize,
+        }
     }
 
     /// Builds a light snapshot carrying only aggregates.
@@ -86,6 +103,7 @@ impl MempoolSnapshot {
             entries: Arc::new(Vec::new()),
             detailed: false,
             truncated: false,
+            degraded: false,
             count,
             vsize,
         }
@@ -114,9 +132,27 @@ impl MempoolSnapshot {
             entries: Arc::new(entries),
             detailed: true,
             truncated: true,
+            degraded: self.degraded,
             count,
             vsize,
         }
+    }
+
+    /// The same snapshot stamped *degraded*: the observer recorded it
+    /// while its view was known-compromised (e.g. inside an eclipse
+    /// window, where the backlog is frozen at whatever the node held when
+    /// it lost its peers). The rows are kept — they are real observations
+    /// — but coverage accounting discounts the window, so a downstream
+    /// audit can never mistake an eclipsed stream for a healthy one.
+    pub fn mark_degraded(mut self) -> MempoolSnapshot {
+        self.degraded = true;
+        self
+    }
+
+    /// True when the observer's view was known-compromised at snapshot
+    /// time; see [`MempoolSnapshot::mark_degraded`].
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// True when per-transaction rows are present.
@@ -234,6 +270,23 @@ mod tests {
         // Degenerate fractions clamp instead of panicking.
         assert_eq!(snap.truncate_detail(2.0).len(), 10);
         assert_eq!(snap.truncate_detail(-1.0).len(), 0);
+    }
+
+    #[test]
+    fn degraded_stamp_round_trips_and_survives_truncation() {
+        let snap = MempoolSnapshot::from_entries(
+            15,
+            (1..=4).map(|i| entry(i, 100, 1_000)).collect(),
+        );
+        assert!(!snap.is_degraded());
+        let stamped = snap.clone().mark_degraded();
+        assert!(stamped.is_degraded());
+        assert_eq!(stamped.len(), snap.len(), "rows are kept");
+        assert_ne!(stamped, snap, "the stamp participates in equality");
+        // The stamp survives a truncation cut (both branches).
+        assert!(stamped.truncate_detail(0.5).is_degraded());
+        assert!(stamped.truncate_detail(1.0).is_degraded());
+        assert!(MempoolSnapshot::light(30, 5, 500).mark_degraded().is_degraded());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`faults::FaultPlan`] — declarative degradation of the substrate:
 //!   lossy/spiky/duplicating links, observer downtime and truncated
 //!   snapshot dumps, stale-tip block races.
+//! * [`faults::AdversaryPlan`] — adversarial observation scenarios aimed
+//!   at the measurement fleet: targeted observer eclipses, selectively
+//!   withholding peer neighborhoods, and spy-resistant diffusion delays.
 //! * [`network::Network`] — nodes with roles (relay, observer, miner hub),
 //!   each stakeholder holding its own [`cn_mempool::Mempool`] view.
 //!   Flooding is modelled exactly: under flood relay the first arrival at
@@ -29,7 +32,10 @@ pub mod latency;
 pub mod network;
 pub mod topology;
 
-pub use faults::{FaultPlan, LinkFaults, ObserverFaults};
+pub use faults::{
+    AdversaryPlan, DiffusionDelay, EclipseWindow, FaultPlan, FaultPlanError, LinkFaults,
+    ObserverFaults, WithholdPredicate, WithholdRule,
+};
 pub use latency::LatencyModel;
 pub use network::{Network, NodeId, NodeRole, RelayPayload};
 pub use topology::Topology;

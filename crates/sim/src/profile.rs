@@ -14,7 +14,10 @@
 use std::time::Duration;
 
 /// Counters and per-subsystem timings for one simulation run.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+///
+/// `Clone` but deliberately not `Copy`: the per-observer vectors grow
+/// with the fleet.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimProfile {
     /// Total events popped from the queue.
     pub events_popped: u64,
@@ -29,6 +32,12 @@ pub struct SimProfile {
     pub blocks: u64,
     /// Snapshot ticks handled (recorded or lost to observer downtime).
     pub snapshot_ticks: u64,
+    /// Snapshots actually recorded, per fleet observer (index-aligned
+    /// with the scenario's `observers`).
+    pub observer_snapshots: Vec<u64>,
+    /// Snapshots recorded while the observer's view was known-degraded
+    /// (eclipse windows), per fleet observer.
+    pub observer_degraded: Vec<u64>,
     /// Templates built on the assembler's incremental all-Normal fast
     /// path, summed over every pool in the run.
     pub assembly_incremental_hits: u64,
@@ -49,8 +58,12 @@ pub struct SimProfile {
     pub mempool: f64,
     /// Seconds assembling templates, validating and connecting blocks.
     pub assembly: f64,
-    /// Seconds recording observer snapshots (cap enforcement included).
+    /// Seconds recording the primary observer's snapshots (cap
+    /// enforcement included).
     pub snapshot: f64,
+    /// Seconds recording the non-primary fleet observers' snapshots —
+    /// the marginal cost of running a fleet instead of one node.
+    pub fleet: f64,
 }
 
 impl SimProfile {

@@ -3,8 +3,60 @@
 use crate::congestion::CongestionProfile;
 use cn_chain::{Params, Timestamp};
 use cn_mempool::MempoolPolicy;
-use cn_net::FaultPlan;
+use cn_net::{AdversaryPlan, FaultPlan};
 use serde::{Deserialize, Serialize};
+
+/// One measurement node in the observer fleet.
+///
+/// The paper's two datasets came from two *differently configured* nodes
+/// (𝒜: default policy, 8 peers; ℬ: no fee floor, 125 peers), and its
+/// conclusions inherit whatever that one vantage point happened to see.
+/// A fleet generalizes this: each observer gets its own peer count,
+/// admission policy, Mempool cap, and latency tier, and the reconciliation
+/// layer in `cn-core` merges their views.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObserverConfig {
+    /// Display label, used in reports and reconciliation output.
+    pub label: String,
+    /// Peer count — the node's degree in the P2P graph (8 for dataset
+    /// 𝒜's default node, 125 for ℬ's).
+    pub peers: usize,
+    /// Mempool acceptance policy (dataset ℬ used `accept_all`).
+    pub policy: MempoolPolicy,
+    /// Mempool size cap in vbytes (Bitcoin Core's `-maxmempool`); worst
+    /// descendant-rate packages are evicted beyond it. `None` = no cap.
+    pub max_mempool_vsize: Option<u64>,
+    /// Latency tier: multiplies the node's first-arrival delays. 1.0 is
+    /// a well-connected datacenter node; >1.0 models a vantage point
+    /// behind slow links (a home connection, a distant region).
+    pub latency_factor: f64,
+}
+
+impl ObserverConfig {
+    /// The paper's dataset-𝒜 analog: default policy, 8 peers, no cap —
+    /// the single observer every pre-fleet scenario ran with.
+    pub fn default_node() -> ObserverConfig {
+        ObserverConfig {
+            label: "obs0".into(),
+            peers: 8,
+            policy: MempoolPolicy::default(),
+            max_mempool_vsize: None,
+            latency_factor: 1.0,
+        }
+    }
+
+    /// Renames the observer.
+    pub fn named(mut self, label: impl Into<String>) -> ObserverConfig {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Default for ObserverConfig {
+    fn default() -> ObserverConfig {
+        ObserverConfig::default_node()
+    }
+}
 
 /// A misbehaviour (or the absence of one) a pool can exhibit.
 /// Behaviours compose — a pool may both self-accelerate and sell
@@ -108,13 +160,12 @@ pub struct Scenario {
     /// (violation pairs, first-seen times) consume; aggregates drive the
     /// congestion series. 1 = every snapshot detailed.
     pub snapshot_detail_every: u64,
-    /// Observer Mempool size cap in vbytes (Bitcoin Core's `-maxmempool`);
-    /// worst descendant-rate packages are evicted beyond it. `None` = no cap.
-    pub observer_max_mempool_vsize: Option<u64>,
-    /// Observer Mempool policy (dataset ℬ used `accept_all`).
-    pub observer_policy: MempoolPolicy,
-    /// Observer peer count (8 for dataset 𝒜's default node, 125 for ℬ's).
-    pub observer_peers: usize,
+    /// The observer fleet: one or more measurement nodes, each with its
+    /// own peer count, policy, cap, and latency tier. The first entry is
+    /// the *primary* observer — its stream is what
+    /// `SimOutput::snapshots` carries, and legacy [`FaultPlan`] observer
+    /// faults (downtime, truncation) apply to it alone.
+    pub observers: Vec<ObserverConfig>,
     /// Number of pure relay nodes in the P2P graph.
     pub relay_nodes: usize,
     /// Number of miner-hub nodes; pools attach round-robin. Fewer hubs
@@ -149,6 +200,11 @@ pub struct Scenario {
     /// [`FaultPlan::none`] (the default) is bit-inert: the run is
     /// identical to one without fault support compiled in.
     pub faults: FaultPlan,
+    /// Adversarial observation scenarios aimed at the fleet: targeted
+    /// eclipses, selectively-withholding peers, diffusion stalling.
+    /// [`AdversaryPlan::none`] (the default) is bit-inert, like the
+    /// fault plan.
+    pub adversaries: AdversaryPlan,
 }
 
 impl Scenario {
@@ -168,9 +224,7 @@ impl Scenario {
             congestion: CongestionProfile::flat(3.0),
             snapshot_interval: 15,
             snapshot_detail_every: 4,
-            observer_max_mempool_vsize: None,
-            observer_policy: MempoolPolicy::default(),
-            observer_peers: 8,
+            observers: vec![ObserverConfig::default_node()],
             relay_nodes: 12,
             miner_hubs: 3,
             link_latency_median: 1.5,
@@ -183,6 +237,7 @@ impl Scenario {
             acceleration_demand: 0.0,
             scam: None,
             faults: FaultPlan::none(),
+            adversaries: AdversaryPlan::none(),
         }
     }
 
@@ -212,6 +267,20 @@ impl Scenario {
         if self.snapshot_detail_every == 0 {
             return Err("snapshot_detail_every must be at least 1".into());
         }
+        if self.observers.is_empty() {
+            return Err("need at least one observer".into());
+        }
+        for (i, o) in self.observers.iter().enumerate() {
+            if o.peers == 0 {
+                return Err(format!("observer {i} ({}) needs at least one peer", o.label));
+            }
+            if !(o.latency_factor.is_finite() && o.latency_factor > 0.0) {
+                return Err(format!(
+                    "observer {i} ({}) latency_factor must be finite and positive, got {}",
+                    o.label, o.latency_factor
+                ));
+            }
+        }
         if !(0.0..=1.0).contains(&self.cpfp_prob)
             || !(0.0..=1.0).contains(&self.zero_fee_prob)
             || !(0.0..=1.0).contains(&self.acceleration_demand)
@@ -238,7 +307,8 @@ impl Scenario {
                 return Err("donation_prob must be in [0,1]".into());
             }
         }
-        self.faults.validate()?;
+        self.faults.validate().map_err(|e| e.to_string())?;
+        self.adversaries.validate(self.observers.len()).map_err(|e| e.to_string())?;
         Ok(())
     }
 }
@@ -295,6 +365,39 @@ mod tests {
 
         let mut s = Scenario::base("t", 1);
         s.faults = FaultPlan::scaled(0.5);
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn fleet_configs_validate() {
+        let mut s = Scenario::base("t", 1);
+        s.observers = vec![
+            ObserverConfig::default_node(),
+            ObserverConfig { peers: 125, latency_factor: 2.5, ..ObserverConfig::default_node() }
+                .named("obs-b"),
+        ];
+        assert_eq!(s.validate(), Ok(()));
+
+        let mut s = Scenario::base("t", 1);
+        s.observers.clear();
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::base("t", 1);
+        s.observers[0].peers = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = Scenario::base("t", 1);
+        s.observers[0].latency_factor = f64::NAN;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn adversaries_must_target_real_observers() {
+        use cn_net::EclipseWindow;
+        let mut s = Scenario::base("t", 1);
+        s.adversaries.eclipses.push(EclipseWindow { observer: 3, start_secs: 0, end_secs: 60 });
+        assert!(s.validate().is_err(), "eclipse targets a non-existent observer");
+        s.observers = (0..4).map(|i| ObserverConfig::default_node().named(format!("o{i}"))).collect();
         assert_eq!(s.validate(), Ok(()));
     }
 

@@ -24,8 +24,15 @@ pub struct SimOutput {
     pub scenario: Scenario,
     /// The confirmed chain.
     pub chain: Chain,
-    /// The observer's 15-second snapshot stream (datasets 𝒜/ℬ analog).
+    /// The *primary* observer's 15-second snapshot stream (datasets 𝒜/ℬ
+    /// analog) — identical to `observer_streams[0]`; kept as its own
+    /// field so every pre-fleet consumer reads exactly what it always
+    /// read.
     pub snapshots: Vec<MempoolSnapshot>,
+    /// One snapshot stream per fleet observer, index-aligned with the
+    /// scenario's `observers`. The cross-observer reconciliation layer
+    /// in `cn-core` merges these.
+    pub observer_streams: Vec<Vec<MempoolSnapshot>>,
     /// Ground-truth labels.
     pub truth: GroundTruth,
     /// Pool names, indexed as in the scenario.
@@ -69,12 +76,17 @@ pub struct World {
     network: Network,
     pools: Vec<MiningPool>,
     hub_of_pool: Vec<NodeId>,
+    /// The primary observer's node id (fleet index 0); fleet observer
+    /// `j` sits at `observer + j`.
     observer: NodeId,
+    observer_count: usize,
     relay_count: usize,
     workload: Workload,
     estimator: FeeEstimator,
     truth: GroundTruth,
-    snapshots: Vec<MempoolSnapshot>,
+    /// One stream per fleet observer, index-aligned with the scenario's
+    /// `observers`.
+    observer_streams: Vec<Vec<MempoolSnapshot>>,
     services: Vec<Option<Arc<Mutex<AccelerationService>>>>,
     block_miners: Vec<usize>,
     /// Providers (pool indexes) selling acceleration.
@@ -118,6 +130,7 @@ pub struct WorldCheckpoint {
     workload: Workload,
     hub_of_pool: Vec<NodeId>,
     observer: NodeId,
+    observer_count: usize,
     relay_count: usize,
     stakeholders: Vec<NodeId>,
 }
@@ -132,10 +145,16 @@ impl WorldCheckpoint {
         let root = SimRng::seed_from_u64(base.seed);
         let mut rng_topo = root.fork("topology");
 
-        // --- Node layout: relays | observer | hubs ------------------------
+        // --- Node layout: relays | observer fleet | hubs ------------------
+        // The primary observer sits at `relay_count`; fleet observer `j`
+        // at `relay_count + j`; hubs after the whole fleet. A one-node
+        // fleet reproduces the pre-fleet layout exactly (same node count,
+        // same degree vector, same topology-RNG draws).
         let scenario = base;
         let relay_count = scenario.relay_nodes.max(2);
         let observer: NodeId = relay_count;
+        let observer_count = scenario.observers.len();
+        let hubs_base = relay_count + observer_count;
         // Pools that accept low-fee transactions need their own hub (their
         // Mempool admits what others reject); the rest share hubs.
         let mut hub_policies: Vec<MempoolPolicy> = Vec::new();
@@ -148,16 +167,16 @@ impl WorldCheckpoint {
         for (i, p) in scenario.pools.iter().enumerate() {
             if p.accepts_low_fee {
                 hub_policies.push(MempoolPolicy::accept_all());
-                hub_of_pool[i] = observer + hub_policies.len(); // filled below
+                hub_of_pool[i] = hubs_base + hub_policies.len(); // filled below
             } else {
-                hub_of_pool[i] = observer + 1 + (shared_rr % shared_hub_count);
+                hub_of_pool[i] = hubs_base + (shared_rr % shared_hub_count);
                 shared_rr += 1;
             }
         }
         // Fix dedicated-hub ids now that counts are known: dedicated hubs
         // come after the shared ones.
         {
-            let mut next_dedicated = observer + 1 + shared_hub_count;
+            let mut next_dedicated = hubs_base + shared_hub_count;
             for (i, p) in scenario.pools.iter().enumerate() {
                 if p.accepts_low_fee {
                     hub_of_pool[i] = next_dedicated;
@@ -166,9 +185,11 @@ impl WorldCheckpoint {
             }
         }
         let hub_count = hub_policies.len();
-        let n = relay_count + 1 + hub_count;
+        let n = relay_count + observer_count + hub_count;
         let mut degrees = vec![8usize; n];
-        degrees[observer] = scenario.observer_peers;
+        for (j, o) in scenario.observers.iter().enumerate() {
+            degrees[observer + j] = o.peers;
+        }
         let topology = Topology::random(n, &degrees, &mut rng_topo);
         let latency = LatencyModel::sample(
             &topology,
@@ -177,9 +198,11 @@ impl WorldCheckpoint {
             &mut rng_topo,
         );
         let mut roles = vec![NodeRole::Relay; n];
-        roles[observer] = NodeRole::Observer { policy: scenario.observer_policy };
+        for (j, o) in scenario.observers.iter().enumerate() {
+            roles[observer + j] = NodeRole::Observer { policy: o.policy };
+        }
         for (h, policy) in hub_policies.iter().enumerate() {
-            roles[observer + 1 + h] = NodeRole::MinerHub { pool: h, policy: *policy };
+            roles[hubs_base + h] = NodeRole::MinerHub { pool: h, policy: *policy };
         }
         let network = Network::new(topology, latency, roles);
 
@@ -208,6 +231,7 @@ impl WorldCheckpoint {
             workload,
             hub_of_pool,
             observer,
+            observer_count,
             relay_count,
             stakeholders,
         }
@@ -227,6 +251,11 @@ impl WorldCheckpoint {
         assert_eq!(scenario.seed, self.seed, "checkpoint seed mismatch");
         assert_eq!(scenario.relay_nodes.max(2), self.relay_count, "checkpoint relay-node mismatch");
         assert_eq!(scenario.pools.len(), self.hub_of_pool.len(), "checkpoint pool-roster mismatch");
+        assert_eq!(
+            scenario.observers.len(),
+            self.observer_count,
+            "checkpoint observer-fleet mismatch"
+        );
         let root = SimRng::seed_from_u64(scenario.seed);
         let rng_tx = root.fork("transactions");
         let rng_mine = root.fork("mining");
@@ -296,6 +325,7 @@ impl WorldCheckpoint {
             truth.set_scam_address(scam_address);
         }
 
+        let observer_count = self.observer_count;
         World {
             estimator: FeeEstimator::new(12),
             scenario,
@@ -306,10 +336,11 @@ impl WorldCheckpoint {
             pools,
             hub_of_pool: self.hub_of_pool.clone(),
             observer: self.observer,
+            observer_count,
             relay_count: self.relay_count,
             workload: self.workload.clone(),
             truth,
-            snapshots: Vec::new(),
+            observer_streams: vec![Vec::new(); observer_count],
             services,
             block_miners: Vec::new(),
             providers,
@@ -321,7 +352,11 @@ impl WorldCheckpoint {
             rng_fault,
             downtime_ms,
             orphaned_blocks: 0,
-            profile: SimProfile::default(),
+            profile: SimProfile {
+                observer_snapshots: vec![0; observer_count],
+                observer_degraded: vec![0; observer_count],
+                ..SimProfile::default()
+            },
         }
     }
 }
@@ -405,18 +440,19 @@ impl World {
                     let t = Instant::now();
                     self.profile.snapshot_ticks += 1;
                     let now_secs = now_ms / 1_000;
-                    // An observer inside an outage window records nothing:
-                    // the window is simply missing from the stream. The
-                    // detail-stride counter still advances so the cadence
-                    // realigns once the daemon is back.
+                    // The primary observer inside an outage window records
+                    // nothing: the window is simply missing from the
+                    // stream. The detail-stride counter still advances so
+                    // the cadence realigns once the daemon is back.
                     let down =
                         self.downtime_ms.iter().any(|&(s, e)| now_ms >= s && now_ms < e);
                     let detailed =
                         self.snapshot_counter.is_multiple_of(self.scenario.snapshot_detail_every);
                     self.snapshot_counter += 1;
                     if !down {
-                        // Enforce the observer's maxmempool before recording.
-                        if let Some(cap) = self.scenario.observer_max_mempool_vsize {
+                        // Enforce the primary observer's maxmempool before
+                        // recording.
+                        if let Some(cap) = self.scenario.observers[0].max_mempool_vsize {
                             if let Some(pool) = self.network.mempool_mut(self.observer) {
                                 pool.limit_size(cap);
                             }
@@ -434,14 +470,53 @@ impl World {
                             {
                                 snap = snap.truncate_detail(obs_faults.truncate_keep_frac);
                             }
-                            self.snapshots.push(snap);
+                            // An eclipsed observer keeps recording — its
+                            // daemon is fine — but the view is frozen, so
+                            // the snapshot carries a degraded stamp that
+                            // coverage accounting discounts. Deterministic:
+                            // no RNG draw, so the empty adversary plan
+                            // stays bit-inert.
+                            if self.scenario.adversaries.eclipsed(0, now_ms) {
+                                snap = snap.mark_degraded();
+                                self.profile.observer_degraded[0] += 1;
+                            }
+                            self.profile.observer_snapshots[0] += 1;
+                            self.observer_streams[0].push(snap);
                         }
+                    }
+                    SimProfile::credit(&mut self.profile.snapshot, t.elapsed());
+                    // The rest of the fleet: same cadence and detail
+                    // stride, per-observer caps, no legacy observer
+                    // faults (those model the primary daemon's outages).
+                    if self.observer_count > 1 {
+                        let t_fleet = Instant::now();
+                        for j in 1..self.observer_count {
+                            let node = self.observer + j;
+                            if let Some(cap) = self.scenario.observers[j].max_mempool_vsize {
+                                if let Some(pool) = self.network.mempool_mut(node) {
+                                    pool.limit_size(cap);
+                                }
+                            }
+                            if let Some(pool) = self.network.mempool_mut(node) {
+                                let mut snap = if detailed {
+                                    pool.snapshot(now_secs)
+                                } else {
+                                    pool.snapshot_light(now_secs)
+                                };
+                                if self.scenario.adversaries.eclipsed(j, now_ms) {
+                                    snap = snap.mark_degraded();
+                                    self.profile.observer_degraded[j] += 1;
+                                }
+                                self.profile.observer_snapshots[j] += 1;
+                                self.observer_streams[j].push(snap);
+                            }
+                        }
+                        SimProfile::credit(&mut self.profile.fleet, t_fleet.elapsed());
                     }
                     let next = now_ms + self.scenario.snapshot_interval * 1_000;
                     if next < horizon_ms {
                         queue.schedule(next, Ev::Snapshot);
                     }
-                    SimProfile::credit(&mut self.profile.snapshot, t.elapsed());
                 }
             }
         }
@@ -452,11 +527,16 @@ impl World {
             self.profile.assembly_full_rebuilds += rebuilds;
         }
 
+        // The primary stream is exposed twice: as the legacy `snapshots`
+        // field and as `observer_streams[0]`. Rows are Arc-shared, so the
+        // duplicate costs reference counts, not row copies.
+        let snapshots = self.observer_streams[0].clone();
         SimOutput {
             pool_names: self.pools.iter().map(|p| p.name().to_string()).collect(),
             scenario: self.scenario,
             chain: self.chain,
-            snapshots: self.snapshots,
+            snapshots,
+            observer_streams: self.observer_streams,
             truth: self.truth,
             block_miners: self.block_miners,
             services: self.services,
@@ -593,7 +673,7 @@ impl World {
         }
 
         SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
-        self.broadcast(built, now_ms, queue);
+        self.broadcast(built, now_ms, queue, false);
     }
 
     fn issue_self_tx(&mut self, pool: usize, now_ms: SimMillis, queue: &mut BucketQueue<Ev>) {
@@ -635,63 +715,118 @@ impl World {
             built.fee,
         );
         SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
-        self.broadcast(built, now_ms, queue);
+        self.broadcast(built, now_ms, queue, true);
     }
 
     /// Schedules per-stakeholder deliveries for a freshly issued tx,
     /// applying link faults (loss, spikes, reorder jitter, duplicates)
-    /// when the scenario's fault plan enables them.
-    fn broadcast(&mut self, built: BuiltTx, now_ms: SimMillis, queue: &mut BucketQueue<Ev>) {
+    /// and adversarial observation attacks (withholding, diffusion
+    /// stalls, eclipses) when the scenario enables them. `miner_origin`
+    /// marks transfers issued from pool wallets — the traffic the
+    /// `MinerOrigin` withhold predicate targets.
+    fn broadcast(
+        &mut self,
+        built: BuiltTx,
+        now_ms: SimMillis,
+        queue: &mut BucketQueue<Ev>,
+        miner_origin: bool,
+    ) {
         let relay_started = Instant::now();
         // Issue from a random relay node (users are spread over the edge).
         let origin = self.rng_tx.next_below(self.relay_count as u64) as usize;
         let arrivals = self.network.propagation_from(origin);
         let link = self.scenario.faults.link;
+        let adv = &self.scenario.adversaries;
+        let adv_enabled = adv.enabled();
+        // The withhold predicates key on fee rate; computed once per
+        // broadcast, and only when an adversary could consult it.
+        let fee_rate_kvb = if adv_enabled {
+            FeeRate::from_fee_and_vsize(built.fee, built.tx.vsize()).to_sat_per_kvb()
+        } else {
+            0
+        };
         // One shared payload for the whole fan-out; each delivery event
         // (duplicates included) holds a handle, not a transaction clone.
         let payload = Arc::new(RelayPayload::new(built.tx, built.fee));
         let mut expected = 0usize;
         let mut lost = 0usize;
         for &node in &self.stakeholders {
-            let delay_ms = (arrivals[node] * 1_000.0).round() as SimMillis;
-            let at = now_ms + delay_ms.max(1);
+            // Observer latency tiers scale the node's first-arrival delay;
+            // factor 1.0 multiplies exactly, so default fleets keep the
+            // pre-fleet arrival schedule bit-identical.
+            let obs_idx = (node >= self.observer && node < self.observer + self.observer_count)
+                .then(|| node - self.observer);
+            let delay_ms = match obs_idx {
+                Some(j) => {
+                    (arrivals[node] * self.scenario.observers[j].latency_factor * 1_000.0).round()
+                        as SimMillis
+                }
+                None => (arrivals[node] * 1_000.0).round() as SimMillis,
+            };
+            let mut at = now_ms + delay_ms.max(1);
+            let mut dup_trail = None;
             if link.enabled() {
                 let Some(extra) = link.sample_delivery(&mut self.rng_fault) else {
                     lost += 1; // this node never hears of the tx
                     continue;
                 };
-                let at = at + extra;
-                expected += 1;
-                queue.schedule(
-                    at,
-                    Ev::Deliver { node, payload: Arc::clone(&payload), counted: true },
-                );
-                if let Some(trail) = link.sample_duplicate(&mut self.rng_fault) {
-                    queue.schedule(
-                        at + trail,
-                        Ev::Deliver { node, payload: Arc::clone(&payload), counted: false },
-                    );
+                at += extra;
+                dup_trail = link.sample_duplicate(&mut self.rng_fault);
+            }
+            if adv_enabled {
+                if let Some(j) = obs_idx {
+                    // Selectively-withholding peers: matching deliveries
+                    // toward this observer vanish with probability
+                    // `control`, independently per observer — which is
+                    // exactly what a fleet exploits to recover coverage.
+                    // Unlike link loss, an adversary-suppressed observer
+                    // delivery never locks CPFP: the tx still reaches
+                    // every miner, so child-spending stays consensus-
+                    // valid — only *observation* is damaged. (The drop
+                    // still shrinks `expected`, so users who pace CPFP on
+                    // full propagation may unlock marginally earlier.)
+                    if adv.withholds_delivery(j, miner_origin, fee_rate_kvb, &mut self.rng_fault)
+                    {
+                        continue;
+                    }
+                    // Spy-resistant diffusion: the first hop toward an
+                    // observer stalls; miners hear at normal speed.
+                    at += adv.diffusion_extra_ms(&mut self.rng_fault);
+                    // Eclipse: an arrival inside the window never lands
+                    // (deterministic, no draw). Half-open boundaries are
+                    // covered by the eclipse-window tests.
+                    if adv.eclipsed(j, at) {
+                        continue;
+                    }
                 }
-            } else {
-                expected += 1;
+            }
+            expected += 1;
+            queue.schedule(at, Ev::Deliver { node, payload: Arc::clone(&payload), counted: true });
+            if let Some(trail) = dup_trail {
                 queue.schedule(
-                    at,
-                    Ev::Deliver { node, payload: Arc::clone(&payload), counted: true },
+                    at + trail,
+                    Ev::Deliver { node, payload: Arc::clone(&payload), counted: false },
                 );
             }
         }
         // A tx whose every delivery was lost has no pending deliveries to
         // track; inserting an entry would leak it forever. A partially
-        // lost tx starts with `all_ok = false`: some stakeholder will
-        // never hold it, so its outputs must stay locked — a CPFP child
-        // spending them could reach a miner that cannot package the
-        // parent, and the resulting block would be consensus-invalid.
+        // lost tx starts with `all_ok = false`: some stakeholder (possibly
+        // a miner) will never hold it, so its outputs must stay locked — a
+        // CPFP child spending them could reach a miner that cannot package
+        // the parent, and the resulting block would be consensus-invalid.
+        // (`lost` counts link-fault losses only; see the adversary note
+        // above.)
         if expected > 0 {
             self.delivery_state.insert(payload.txid, (expected, lost == 0));
         }
-        // With link faults on, this path is dominated by the per-delivery
-        // fault draws — attribute it to the faults subsystem.
-        let slot = if link.enabled() { &mut self.profile.faults } else { &mut self.profile.relay };
+        // With link faults or adversaries on, this path is dominated by
+        // the per-delivery draws — attribute it to the faults subsystem.
+        let slot = if link.enabled() || adv_enabled {
+            &mut self.profile.faults
+        } else {
+            &mut self.profile.relay
+        };
         SimProfile::credit(slot, relay_started.elapsed());
     }
 
