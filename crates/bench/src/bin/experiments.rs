@@ -3,8 +3,16 @@
 //! ```text
 //! experiments [--quick] [--serial] [--verify] all
 //! experiments [--quick] table2 fig7 ...
+//! experiments [--quick] --stream
 //! experiments --list
 //! ```
+//!
+//! `--stream` runs the long-lived service loop instead of the experiment
+//! suite: it replays dataset 𝒜's interleaved block/snapshot event stream
+//! through the incremental `StreamingAuditor` the way a live auditing
+//! daemon would, printing rolling verdicts as blocks arrive and the exact
+//! on-demand verdict at the end, then records ingestion throughput and
+//! peak-RSS counters into `BENCH_pipeline.json`.
 //!
 //! Experiments run on a worker pool (one thread per available core, capped
 //! at the number of ids); output is buffered per experiment and printed in
@@ -23,7 +31,10 @@
 //! after all experiments finish, making golden drift visible in CI before
 //! the files are refreshed.
 
-use cn_bench::{run_experiment, Lab, ALL_IDS, DATASET_NAMES};
+use cn_bench::exp_streaming::peak_rss_kb;
+use cn_bench::{run_experiment, Lab, StreamingBench, ALL_IDS, DATASET_NAMES};
+use cn_core::streaming::{interleave, StreamEvent, StreamingAuditor, StreamingConfig};
+use cn_core::StreamExpectation;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -39,11 +50,13 @@ use std::time::{Duration, Instant};
 /// 13.182 s before the incremental-assembly and fork-and-replay work —
 /// though the box itself had also drifted ~20 % slower by the time of that
 /// reading, so the true engine delta is larger than the two figures
-/// suggest). The current figure reflects the observer-fleet growth: a 23rd
-/// experiment (`observer_fleet`, four adversary worlds with an 8-observer
-/// fleet) plus per-observer bookkeeping in every sim — the suite gained
-/// workload, not regressions.
-const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 32.704;
+/// suggest). The previous figure (32.704 s) reflected the observer-fleet
+/// growth: a 23rd experiment (`observer_fleet`, four adversary worlds with
+/// an 8-observer fleet) plus per-observer bookkeeping in every sim. The
+/// current figure adds the 24th experiment (`streaming`: seven full
+/// event-stream replays per dataset through the incremental auditor, each
+/// ending in an exact verdict) — again added workload, not a regression.
+const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 37.906;
 
 /// Checked-in wall-time anchor CI gates against (`ci/bench_baseline_wall_seconds.txt`).
 /// Read at runtime so the emitted speedup always compares to the same number
@@ -73,6 +86,16 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let serial_flag = args.iter().any(|a| a == "--serial");
     let verify = args.iter().any(|a| a == "--verify");
+    if args.iter().any(|a| a == "--stream") {
+        let lab = if quick { Lab::quick() } else { Lab::full() };
+        let wall_started = Instant::now();
+        run_stream_service(&lab);
+        let total_wall = wall_started.elapsed().as_secs_f64();
+        if let Err(e) = write_bench_json(&lab, quick, "stream", 1, 1, &[], total_wall) {
+            eprintln!("warning: could not write BENCH_pipeline.json: {e}");
+        }
+        return;
+    }
     let mut ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
     if run_all {
@@ -223,6 +246,61 @@ fn emit_report(
     }
 }
 
+/// `--stream`: the long-lived service loop. Replays dataset 𝒜's
+/// interleaved block/snapshot event stream through a [`StreamingAuditor`]
+/// in arrival order, printing a rolling verdict every few blocks the way
+/// a live auditing daemon would, then takes the exact on-demand verdict
+/// (bit-identical to the batch audit) and records ingestion, throughput,
+/// and peak-RSS counters for `BENCH_pipeline.json`.
+fn run_stream_service(lab: &Lab) {
+    /// Rolling-verdict cadence, in ingested blocks.
+    const REPORT_EVERY_BLOCKS: u64 = 25;
+    let (out, _) = lab.a();
+    let s = &out.scenario;
+    let exp =
+        StreamExpectation::from_run(s.duration, s.snapshot_interval, s.snapshot_detail_every);
+    let mut auditor =
+        StreamingAuditor::new(out.chain.initial_utxos(), StreamingConfig::new(exp));
+    let started = Instant::now();
+    let mut last_report = 0u64;
+    for ev in interleave(out.chain.blocks(), &out.snapshots) {
+        if let Err(e) = auditor.push_event(&ev) {
+            eprintln!("stream: unrecoverable ingest error: {e}");
+            std::process::exit(2);
+        }
+        if matches!(ev, StreamEvent::Block(_))
+            && auditor.tip_blocks() >= last_report + REPORT_EVERY_BLOCKS
+        {
+            last_report = auditor.tip_blocks();
+            print!("{}", auditor.rolling().render());
+        }
+    }
+    let replay_seconds = started.elapsed().as_secs_f64();
+    let c = auditor.counters();
+    println!("---- end of stream ----");
+    print!("{}", auditor.rolling().render());
+    match auditor.verdict() {
+        Ok(report) => println!("{}", report.render()),
+        Err(e) => println!("exact verdict refused: {e}"),
+    }
+    println!(
+        "[stream replayed {} events in {:.2}s — {:.0} events/s, peak window rows {}]",
+        c.events,
+        replay_seconds,
+        c.events as f64 / replay_seconds.max(1e-9),
+        c.peak_window_rows,
+    );
+    lab.record_streaming(StreamingBench {
+        events: c.events,
+        blocks: c.blocks,
+        snapshots: c.snapshots,
+        rows_processed: c.rows_processed,
+        peak_window_rows: c.peak_window_rows,
+        replay_seconds,
+        peak_rss_kb: peak_rss_kb(),
+    });
+}
+
 /// Emits `BENCH_pipeline.json` by hand (no JSON dependency in-tree).
 fn write_bench_json(
     lab: &Lab,
@@ -235,11 +313,14 @@ fn write_bench_json(
 ) -> std::io::Result<()> {
     let mut json = String::new();
     json.push_str("{\n");
-    // Schema 3: adds per-observer snapshot/degraded counters, the fleet
-    // subsystem-seconds slot, and the tri-state mode
-    // (serial/serial-auto/parallel). Bump on any key change so trajectory
-    // tooling can tell versions apart without sniffing.
-    json.push_str("  \"schema\": 3,\n");
+    // Schema 4: adds the `streaming` block (ingestion counters, replay
+    // throughput, peak RSS from the streaming experiment or the `--stream`
+    // service loop) and the "stream" mode. Schema 3 added per-observer
+    // snapshot/degraded counters, the fleet subsystem-seconds slot, and
+    // the tri-state mode (serial/serial-auto/parallel). Bump on any key
+    // change so trajectory tooling can tell versions apart without
+    // sniffing.
+    json.push_str("  \"schema\": 4,\n");
     let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "full" });
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"workers_detected\": {workers_detected},");
@@ -307,6 +388,30 @@ fn write_bench_json(
         let _ = writeln!(json, "    \"{id}\": {secs:.3}{comma}");
     }
     json.push_str("  },\n");
+    // Streaming-auditor counters: present when the `streaming` experiment
+    // or the `--stream` service loop ran this process. CI asserts the
+    // windowed state stayed O(window) from these
+    // (peak_window_rows ≪ rows_processed).
+    match lab.streaming_bench() {
+        Some(b) => {
+            json.push_str("  \"streaming\": {\n");
+            let _ = writeln!(json, "    \"events\": {},", b.events);
+            let _ = writeln!(json, "    \"blocks\": {},", b.blocks);
+            let _ = writeln!(json, "    \"snapshots\": {},", b.snapshots);
+            let _ = writeln!(json, "    \"rows_processed\": {},", b.rows_processed);
+            let _ = writeln!(json, "    \"peak_window_rows\": {},", b.peak_window_rows);
+            let _ = writeln!(json, "    \"replay_seconds\": {:.3},", b.replay_seconds);
+            let _ = writeln!(json, "    \"events_per_sec\": {:.0},", b.events_per_sec());
+            match b.peak_rss_kb {
+                Some(kb) => {
+                    let _ = writeln!(json, "    \"peak_rss_kb\": {kb}");
+                }
+                None => json.push_str("    \"peak_rss_kb\": null\n"),
+            }
+            json.push_str("  },\n");
+        }
+        None => json.push_str("  \"streaming\": null,\n"),
+    }
     let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.3},");
     let _ = writeln!(
         json,

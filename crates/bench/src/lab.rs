@@ -13,6 +13,39 @@ pub const DATASET_COUNT: usize = 3;
 /// Display names for the lab's datasets, in cell order.
 pub const DATASET_NAMES: [&str; DATASET_COUNT] = ["A", "B", "C"];
 
+/// Ingestion and state-size counters from the streaming-audit experiment,
+/// surfaced into `BENCH_pipeline.json` so CI can assert the online
+/// auditor's windowed state stays O(window) rather than O(history).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamingBench {
+    /// Events replayed across the canonical dataset replays.
+    pub events: u64,
+    /// Blocks among them.
+    pub blocks: u64,
+    /// Snapshots among them.
+    pub snapshots: u64,
+    /// Snapshot rows ingested — the volume a batch audit retains in full.
+    pub rows_processed: u64,
+    /// High-water mark of retained windowed rows across all replays.
+    pub peak_window_rows: u64,
+    /// Wall-clock seconds spent pushing events (excludes verdicts).
+    pub replay_seconds: f64,
+    /// Peak resident set size in KiB (`VmHWM`), when the platform
+    /// exposes it.
+    pub peak_rss_kb: Option<u64>,
+}
+
+impl StreamingBench {
+    /// Events pushed per second of replay wall time.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.replay_seconds > 0.0 {
+            self.events as f64 / self.replay_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Lazily simulated datasets plus derived indexes.
 ///
 /// Each dataset lives in one `OnceLock` cell, so it is simulated at most
@@ -26,6 +59,8 @@ pub struct Lab {
     /// Wall-clock seconds each cell's init took (simulate + index);
     /// `None` until that dataset has been materialized.
     sim_seconds: [OnceLock<f64>; DATASET_COUNT],
+    /// Counters recorded by the streaming experiment, if it ran.
+    streaming: OnceLock<StreamingBench>,
 }
 
 impl Lab {
@@ -35,6 +70,7 @@ impl Lab {
             scale,
             cells: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             sim_seconds: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+            streaming: OnceLock::new(),
         }
     }
 
@@ -109,6 +145,17 @@ impl Lab {
             self.sim_seconds[1].get().copied(),
             self.sim_seconds[2].get().copied(),
         ]
+    }
+
+    /// Records the streaming experiment's counters (first writer wins —
+    /// the experiment runs once per process).
+    pub fn record_streaming(&self, bench: StreamingBench) {
+        let _ = self.streaming.set(bench);
+    }
+
+    /// The streaming experiment's counters, if it ran this process.
+    pub fn streaming_bench(&self) -> Option<StreamingBench> {
+        self.streaming.get().copied()
     }
 
     /// Per-run simulator profiles (event counts, per-subsystem seconds),

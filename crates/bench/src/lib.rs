@@ -20,16 +20,17 @@ pub mod exp_misbehavior;
 pub mod exp_norms;
 pub mod exp_revenue;
 pub mod exp_robustness;
+pub mod exp_streaming;
 pub mod lab;
 
-pub use lab::{Lab, DATASET_COUNT, DATASET_NAMES};
+pub use lab::{Lab, StreamingBench, DATASET_COUNT, DATASET_NAMES};
 
 /// Every experiment id, in presentation order.
 pub const ALL_IDS: &[&str] = &[
     "fig1", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
     "table3", "table4", "table5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     // Extensions beyond the numbered artifacts:
-    "norm3", "harm", "robustness", "observer_fleet",
+    "norm3", "harm", "robustness", "observer_fleet", "streaming",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -58,6 +59,7 @@ pub fn run_experiment(id: &str, lab: &Lab) -> Option<String> {
         "harm" => exp_extensions::harm(lab),
         "robustness" => exp_robustness::robustness(lab),
         "observer_fleet" => exp_fleet::observer_fleet(lab),
+        "streaming" => exp_streaming::streaming(lab),
         _ => return None,
     })
 }
@@ -72,10 +74,10 @@ mod tests {
         // Only check id resolution here — actually running them is the
         // integration tests' job (they are expensive).
         assert!(run_experiment("nope", &lab).is_none());
-        assert_eq!(ALL_IDS.len(), 23);
+        assert_eq!(ALL_IDS.len(), 24);
         let mut ids: Vec<&&str> = ALL_IDS.iter().collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 23, "ids must be unique");
+        assert_eq!(ids.len(), 24, "ids must be unique");
     }
 }

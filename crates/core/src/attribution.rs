@@ -18,7 +18,7 @@ pub struct PoolStats {
 }
 
 /// The attribution result.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Attribution {
     /// Pools sorted by block count, descending.
     pub pools: Vec<PoolStats>,

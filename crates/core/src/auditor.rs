@@ -98,7 +98,11 @@ impl fmt::Display for Finding {
 }
 
 /// The full audit output.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field (f64s bit-for-bit via the derived
+/// impl), which is how the streaming-equivalence suite pins the online
+/// auditor to this batch driver.
+#[derive(Clone, Debug, PartialEq)]
 pub struct AuditReport {
     /// Pool attribution (blocks, wallets, hash rates).
     pub attribution: Attribution,
@@ -175,7 +179,19 @@ impl AuditReport {
 pub fn audit_chain(chain: &Chain, index: &ChainIndex, config: AuditConfig) -> AuditReport {
     let attribution = attribute(index);
     let self_map = find_self_interest_transactions(chain, &attribution);
+    audit_attributed(index, attribution, &self_map, config)
+}
 
+/// The audit core shared by [`audit_chain`] and the streaming auditor:
+/// everything downstream of attribution and self-interest classification.
+/// Callers that maintain those two incrementally (no `Chain` in hand) feed
+/// them in here and get a report identical to the batch driver's.
+pub fn audit_attributed(
+    index: &ChainIndex,
+    attribution: Attribution,
+    self_map: &crate::self_interest::SelfInterestMap,
+    config: AuditConfig,
+) -> AuditReport {
     // Per-miner PPE (Figure 7b).
     let ppe = ppe_by_miner(index);
     let mut mean_ppe_by_miner: Vec<(String, f64)> = attribution

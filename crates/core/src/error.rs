@@ -31,6 +31,13 @@ pub enum AuditError {
         /// Which computation produced the non-finite value.
         context: &'static str,
     },
+    /// A block pushed into the streaming auditor does not replay against
+    /// its UTXO view — it spends unknown or already-spent outputs, so the
+    /// auditor's fee and self-interest accounting cannot advance.
+    UnreplayableBlock {
+        /// Height of the offending block.
+        height: u64,
+    },
 }
 
 impl fmt::Display for AuditError {
@@ -50,6 +57,9 @@ impl fmt::Display for AuditError {
             ),
             AuditError::NonFiniteStatistic { context } => {
                 write!(f, "non-finite statistic in {context}")
+            }
+            AuditError::UnreplayableBlock { height } => {
+                write!(f, "block at height {height} does not replay against the UTXO view")
             }
         }
     }

@@ -2,7 +2,9 @@
 //! metric consumes.
 
 use crate::cpfp::cpfp_txids_in_block;
-use cn_chain::{Address, Amount, BlockHash, Chain, FastMap, FeeRate, PoolMarker, Timestamp, Txid};
+use cn_chain::{
+    Address, Amount, Block, BlockHash, Chain, FastMap, FeeRate, PoolMarker, Timestamp, Txid,
+};
 
 /// Per-transaction audit facts.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,46 +74,60 @@ impl ChainIndex {
     /// Panics if the chain's per-block records disagree with its blocks —
     /// impossible for a chain built through [`Chain::connect`].
     pub fn build(chain: &Chain) -> ChainIndex {
-        let mut blocks = Vec::with_capacity(chain.blocks().len());
-        let mut by_txid = FastMap::default();
+        let mut index = ChainIndex::default();
+        index.blocks.reserve(chain.blocks().len());
         for (block, record) in chain.blocks().iter().zip(chain.records()) {
-            assert_eq!(
-                record.tx_fees.len(),
-                block.body().len(),
-                "chain record out of sync with block body"
-            );
-            let cpfp = cpfp_txids_in_block(block);
-            let miner = block
-                .coinbase()
-                .and_then(PoolMarker::from_coinbase)
-                .map(|m| m.0.trim_matches('/').to_string());
-            let coinbase_wallets = block
-                .coinbase()
-                .map(|cb| cb.output_addresses().collect())
-                .unwrap_or_default();
-            let mut txs = Vec::with_capacity(block.body().len());
-            for (position, (tx, fee)) in block.body().iter().zip(&record.tx_fees).enumerate() {
-                let txid = tx.txid();
-                by_txid.insert(txid, (record.height, position as u32));
-                txs.push(TxRecord {
-                    txid,
-                    height: record.height,
-                    position,
-                    fee: *fee,
-                    vsize: tx.vsize(),
-                    is_cpfp: cpfp.contains(&txid),
-                });
-            }
-            blocks.push(BlockInfo {
-                height: record.height,
-                hash: record.hash,
-                time: block.header.time,
-                miner,
-                coinbase_wallets,
-                txs,
+            debug_assert_eq!(record.height, index.blocks.len() as u64);
+            index.push_block(block, &record.tx_fees);
+        }
+        index
+    }
+
+    /// Appends one connected block to the index — the incremental form of
+    /// [`ChainIndex::build`], which is now a fold over this method. The
+    /// block's height is the current tip height + 1 (blocks must arrive in
+    /// connect order), so an index grown block-by-block is identical to one
+    /// built from the finished chain.
+    ///
+    /// # Panics
+    /// Panics when `tx_fees` does not line up with the block body.
+    pub fn push_block(&mut self, block: &Block, tx_fees: &[Amount]) {
+        assert_eq!(
+            tx_fees.len(),
+            block.body().len(),
+            "chain record out of sync with block body"
+        );
+        let height = self.blocks.len() as u64;
+        let cpfp = cpfp_txids_in_block(block);
+        let miner = block
+            .coinbase()
+            .and_then(PoolMarker::from_coinbase)
+            .map(|m| m.0.trim_matches('/').to_string());
+        let coinbase_wallets = block
+            .coinbase()
+            .map(|cb| cb.output_addresses().collect())
+            .unwrap_or_default();
+        let mut txs = Vec::with_capacity(block.body().len());
+        for (position, (tx, fee)) in block.body().iter().zip(tx_fees).enumerate() {
+            let txid = tx.txid();
+            self.by_txid.insert(txid, (height, position as u32));
+            txs.push(TxRecord {
+                txid,
+                height,
+                position,
+                fee: *fee,
+                vsize: tx.vsize(),
+                is_cpfp: cpfp.contains(&txid),
             });
         }
-        ChainIndex { blocks, by_txid }
+        self.blocks.push(BlockInfo {
+            height,
+            hash: block.block_hash(),
+            time: block.header.time,
+            miner,
+            coinbase_wallets,
+            txs,
+        });
     }
 
     /// All blocks, by height.
@@ -256,6 +272,30 @@ mod tests {
             assert_eq!(rec.fee_rate(), FeeRate::from_fee_and_vsize(rec.fee, rec.vsize));
         }
         assert_eq!(index.locate(&Txid::from([0xee; 32])), None);
+    }
+
+    #[test]
+    fn incremental_push_matches_batch_build() {
+        let chain = sample_chain();
+        let batch = ChainIndex::build(&chain);
+        let mut grown = ChainIndex::default();
+        for (block, record) in chain.blocks().iter().zip(chain.records()) {
+            grown.push_block(block, &record.tx_fees);
+        }
+        assert_eq!(grown.len(), batch.len());
+        for (a, b) in grown.blocks().iter().zip(batch.blocks()) {
+            assert_eq!(a.height, b.height);
+            assert_eq!(a.hash, b.hash);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.miner, b.miner);
+            assert_eq!(a.coinbase_wallets, b.coinbase_wallets);
+            assert_eq!(a.txs, b.txs);
+        }
+        for block in batch.blocks() {
+            for tx in &block.txs {
+                assert_eq!(grown.locate(&tx.txid), batch.locate(&tx.txid));
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,11 @@
 //!   typed [`auditor::AuditReport`]; `audit_with_snapshots` additionally
 //!   consumes the observer stream and degrades gracefully when it is
 //!   damaged.
+//! * [`streaming`] — the incremental auditor: ingests a live interleaved
+//!   stream of block-connect and snapshot events, emits rolling windowed
+//!   verdicts with bounded memory, and produces exact audits bit-identical
+//!   to `audit_with_snapshots` on demand
+//!   ([`streaming::StreamingAuditor`]).
 //! * [`reconcile`] — cross-observer reconciliation: fuses an observer
 //!   *fleet*'s snapshot streams (union rows, min first-seen, unanimity
 //!   rules for degraded/truncated stamps), quantifies first-seen
@@ -72,9 +77,12 @@ pub mod reconcile;
 pub mod report;
 pub mod self_interest;
 pub mod sppe;
+pub mod streaming;
 
 pub use attribution::{attribute, Attribution, PoolStats};
-pub use auditor::{audit_chain, audit_with_snapshots, AuditConfig, AuditReport, Finding};
+pub use auditor::{
+    audit_attributed, audit_chain, audit_with_snapshots, AuditConfig, AuditReport, Finding,
+};
 pub use coverage::{SnapshotCoverage, StreamExpectation};
 pub use error::AuditError;
 pub use darkfee::{sppe_threshold_table, SppeThresholdRow};
@@ -84,3 +92,7 @@ pub use ppe::{block_ppe, chain_ppe, ppe_by_miner};
 pub use prioritization::{differential_prioritization, windowed_prioritization, DifferentialTest};
 pub use reconcile::{audit_with_fleet, reconcile, FirstSeenStats, FleetView, ObserverView};
 pub use sppe::{sppe_for_miner, tx_sppe};
+pub use streaming::{
+    interleave, RollingMiner, RollingVerdict, StreamCounters, StreamEvent, StreamingAuditor,
+    StreamingConfig,
+};

@@ -183,6 +183,22 @@ impl MempoolSnapshot {
         self.vsize
     }
 
+    /// Iterates the per-transaction rows a streaming consumer should fold
+    /// over: every row of a detailed snapshot, nothing for a light one.
+    /// (Light snapshots expose aggregates only; their `entries` vector is
+    /// empty, so this is equivalent to `entries.iter()` but states the
+    /// intent and stays correct if light snapshots ever carry rows.)
+    pub fn rows(&self) -> impl Iterator<Item = &SnapshotEntry> {
+        self.entries.iter().take(if self.detailed { usize::MAX } else { 0 })
+    }
+
+    /// Iterates the txids visible in this snapshot's rows — the
+    /// "observed pending" set coverage accounting and first-seen joins are
+    /// built from. Empty for light snapshots.
+    pub fn observed_txids(&self) -> impl Iterator<Item = Txid> + '_ {
+        self.rows().map(|e| e.txid)
+    }
+
     /// The congestion bin of §4.1.2 given a block capacity in vbytes:
     /// 0 = below capacity (no congestion), 1 = (1x, 2x], 2 = (2x, 4x],
     /// 3 = above 4x (highest congestion).
@@ -287,6 +303,20 @@ mod tests {
         assert!(stamped.truncate_detail(0.5).is_degraded());
         assert!(stamped.truncate_detail(1.0).is_degraded());
         assert!(MempoolSnapshot::light(30, 5, 500).mark_degraded().is_degraded());
+    }
+
+    #[test]
+    fn rows_iterate_detailed_only() {
+        let detailed =
+            MempoolSnapshot::from_entries(15, vec![entry(2, 300, 600), entry(1, 250, 500)]);
+        assert_eq!(detailed.rows().count(), 2);
+        assert_eq!(
+            detailed.observed_txids().collect::<Vec<_>>(),
+            vec![Txid::from([1; 32]), Txid::from([2; 32])]
+        );
+        let light = MempoolSnapshot::light(30, 1_000, 275_000);
+        assert_eq!(light.rows().count(), 0);
+        assert_eq!(light.observed_txids().count(), 0);
     }
 
     #[test]

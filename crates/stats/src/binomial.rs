@@ -119,11 +119,28 @@ fn sum_pmf_range(lo: u64, hi: u64, y: u64, theta: f64) -> f64 {
 /// `Φ((x - yθ₀)/sqrt(yθ₀(1-θ₀)))` — note the paper writes the CDF of the
 /// *standardized deficit*; for the upper tail this is `1 - Φ(z)` with a
 /// continuity correction of one half.
+///
+/// The distribution boundaries are pinned to their exact values: at `x = 0`
+/// the upper tail is `Pr(B ≥ 0) = 1` and at `x = y` the lower tail is
+/// `Pr(B ≤ y) = 1` by definition, but the half-unit continuity correction
+/// would otherwise report strictly less than one (e.g. `x = 0, y = 4,
+/// θ₀ = 0.5` gave ≈ 0.994) — a silent exit from the approximation's
+/// validity region at exactly the inputs where callers rely on the test
+/// being vacuous.
+///
+/// # Panics
+/// Panics when `x > y` or `theta0` is outside `[0, 1]`, matching
+/// [`binomial_test`].
 pub fn binomial_test_normal_approx(x: u64, y: u64, theta0: f64, tail: Tail) -> BinomialTest {
     assert!(x <= y, "observed {x} successes out of {y} trials");
+    assert!((0.0..=1.0).contains(&theta0), "theta0 = {theta0} outside [0,1]");
     let mean = y as f64 * theta0;
     let sd = (y as f64 * theta0 * (1.0 - theta0)).sqrt();
-    let p_value = if sd == 0.0 {
+    let p_value = if (x == 0 && tail == Tail::Upper) || (x == y && tail == Tail::Lower) {
+        // Pr(B >= 0) and Pr(B <= y) are exactly 1; the half-unit
+        // continuity correction would otherwise undershoot.
+        1.0
+    } else if sd == 0.0 {
         // Degenerate null: all mass at 0 or y.
         match tail {
             Tail::Upper => {
@@ -270,6 +287,65 @@ mod tests {
             let p = binomial_test(x, 50, 0.4, Tail::Upper).p_value;
             assert!(p <= prev + 1e-12);
             prev = p;
+        }
+    }
+
+    #[test]
+    fn normal_approx_boundaries_match_exact() {
+        // Regression: the continuity correction used to report < 1 at the
+        // distribution boundaries, where the exact tail is 1 by definition.
+        for y in [1u64, 4, 10, 839] {
+            for theta in [0.01, 0.1753, 0.5, 0.99] {
+                let up0 = binomial_test_normal_approx(0, y, theta, Tail::Upper);
+                assert_eq!(up0.p_value, 1.0, "upper x=0 y={y} θ={theta}");
+                assert_eq!(binomial_test(0, y, theta, Tail::Upper).p_value, up0.p_value);
+                let loy = binomial_test_normal_approx(y, y, theta, Tail::Lower);
+                assert_eq!(loy.p_value, 1.0, "lower x=y={y} θ={theta}");
+                assert_eq!(binomial_test(y, y, theta, Tail::Lower).p_value, loy.p_value);
+            }
+        }
+        // The opposite boundaries stay approximated (small but nonzero).
+        let p = binomial_test_normal_approx(4, 4, 0.5, Tail::Upper).p_value;
+        assert!(p > 0.0 && p < 0.1, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn normal_approx_rejects_bad_theta() {
+        let _ = binomial_test_normal_approx(2, 10, 1.5, Tail::Upper);
+    }
+
+    #[test]
+    fn monotone_in_theta() {
+        // Pr(B >= x) is nondecreasing in θ; Pr(B <= x) is nonincreasing.
+        // Holds for the exact test everywhere and for the approximation
+        // (Φ is monotone in its argument, and z moves monotonically with θ
+        // for fixed x, y away from the pinned boundaries).
+        for (x, y) in [(3u64, 20u64), (10, 50), (0, 10), (10, 10), (466, 839)] {
+            let thetas: Vec<f64> = (0..=40).map(|i| i as f64 / 40.0).collect();
+            for tail in [Tail::Upper, Tail::Lower] {
+                let mut prev_exact = match tail {
+                    Tail::Upper => -0.1,
+                    Tail::Lower => 1.1,
+                };
+                let mut prev_approx = prev_exact;
+                for &theta in &thetas {
+                    let e = binomial_test(x, y, theta, tail).p_value;
+                    let a = binomial_test_normal_approx(x, y, theta, tail).p_value;
+                    match tail {
+                        Tail::Upper => {
+                            assert!(e >= prev_exact - 1e-12, "exact x={x} y={y} θ={theta}");
+                            assert!(a >= prev_approx - 1e-12, "approx x={x} y={y} θ={theta}");
+                        }
+                        Tail::Lower => {
+                            assert!(e <= prev_exact + 1e-12, "exact x={x} y={y} θ={theta}");
+                            assert!(a <= prev_approx + 1e-12, "approx x={x} y={y} θ={theta}");
+                        }
+                    }
+                    prev_exact = e;
+                    prev_approx = a;
+                }
+            }
         }
     }
 }

@@ -10,6 +10,9 @@
 //! * Fisher's method for combining windowed p-values ([`fisher`]),
 //! * empirical CDFs, quantiles and summary statistics for every figure
 //!   ([`ecdf`], [`summary`]),
+//! * mergeable bounded-memory summaries for the streaming auditor — a
+//!   fixed-precision quantile histogram and per-miner accumulators with an
+//!   associative `merge` ([`stream`]),
 //! * a deterministic, seedable RNG (xoshiro256++) and the sampling
 //!   distributions the simulator draws from ([`rng`], [`dist`]) —
 //!   implemented here rather than via `rand_distr` to stay within the
@@ -26,6 +29,7 @@ pub mod ks;
 pub mod lgamma;
 pub mod normal;
 pub mod rng;
+pub mod stream;
 pub mod summary;
 
 pub use binomial::{binomial_test, BinomialTest, Tail};
@@ -36,4 +40,5 @@ pub use ks::{ks_two_sample, KsTest};
 pub use lgamma::{ln_binomial, ln_factorial, ln_gamma};
 pub use normal::{normal_cdf, normal_sf};
 pub use rng::SimRng;
+pub use stream::{Histogram, MinerAccumulator};
 pub use summary::Summary;

@@ -1,0 +1,142 @@
+//! Accumulator-algebra property tests for the streaming summaries.
+//!
+//! The merge laws documented in `cn_stats::stream`:
+//! * integer state merges **exactly** — associative, commutative, and equal
+//!   to pushing every element into one accumulator in any split;
+//! * f64 sums reassociate under merge, so they are compared against the
+//!   documented recursive-summation rounding bound rather than bit-for-bit;
+//! * histogram quantiles depend only on integer state, so they must agree
+//!   exactly across any merge tree, and must sit within one bucket width of
+//!   the exact sorted quantile for in-range samples.
+
+use cn_stats::{Histogram, MinerAccumulator};
+use proptest::prelude::*;
+
+/// One accumulator event: (kind, magnitude, flag).
+type Event = (u8, u64, bool);
+
+fn apply(acc: &mut MinerAccumulator, &(kind, v, flag): &Event) {
+    match kind % 3 {
+        0 => acc.push_block(v % 50, flag.then_some(v as f64 / 10.0)),
+        1 => acc.push_sppe(v as f64 / 5.0 - 100.0, flag),
+        _ => acc.push_pairs(v % 20, v % 20 + v % 50),
+    }
+}
+
+fn fold(events: &[Event]) -> MinerAccumulator {
+    let mut acc = MinerAccumulator::default();
+    for e in events {
+        apply(&mut acc, e);
+    }
+    acc
+}
+
+/// Integer fields must match exactly; f64 sums within the documented
+/// recursive-summation bound (relative, scaled by element count).
+fn assert_law(a: &MinerAccumulator, b: &MinerAccumulator, n: usize) {
+    assert_eq!(a.blocks, b.blocks);
+    assert_eq!(a.txs, b.txs);
+    assert_eq!(a.ppe_count, b.ppe_count);
+    assert_eq!(a.sppe_count, b.sppe_count);
+    assert_eq!(a.sppe_hot, b.sppe_hot);
+    assert_eq!(a.pair_violating, b.pair_violating);
+    assert_eq!(a.pair_candidates, b.pair_candidates);
+    let tol = |x: f64, y: f64| {
+        let scale = x.abs().max(y.abs()).max(1.0);
+        (x - y).abs() <= n as f64 * f64::EPSILON * scale
+    };
+    assert!(tol(a.ppe_sum, b.ppe_sum), "{} vs {}", a.ppe_sum, b.ppe_sum);
+    assert!(tol(a.sppe_sum, b.sppe_sum), "{} vs {}", a.sppe_sum, b.sppe_sum);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge(a, b) equals pushing all elements sequentially, for every
+    /// split point of the event stream.
+    #[test]
+    fn accumulator_merge_commutes_with_pushes(
+        events in proptest::collection::vec((0u8..3, 0u64..1_000, any::<bool>()), 0..60),
+        cut in 0usize..61,
+    ) {
+        let cut = cut.min(events.len());
+        let whole = fold(&events);
+        let mut left = fold(&events[..cut]);
+        let right = fold(&events[cut..]);
+        left.merge(&right);
+        assert_law(&left, &whole, events.len());
+    }
+
+    /// merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c), exactly on
+    /// integer state, within rounding on the component sums. It is also
+    /// commutative bit-for-bit (IEEE-754 addition commutes).
+    #[test]
+    fn accumulator_merge_associative_commutative(
+        events in proptest::collection::vec((0u8..3, 0u64..1_000, any::<bool>()), 0..60),
+        c1 in 0usize..61,
+        c2 in 0usize..61,
+    ) {
+        let (c1, c2) = (c1.min(events.len()), c2.min(events.len()));
+        let (lo, hi) = (c1.min(c2), c1.max(c2));
+        let a = fold(&events[..lo]);
+        let b = fold(&events[lo..hi]);
+        let c = fold(&events[hi..]);
+        let mut left_assoc = a.clone();
+        left_assoc.merge(&b);
+        left_assoc.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right_assoc = a.clone();
+        right_assoc.merge(&bc);
+        assert_law(&left_assoc, &right_assoc, events.len());
+        // Commutativity is exact: x + y == y + x for f64 too.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    /// Histogram quantiles depend only on exactly-merging integer state:
+    /// any merge tree must answer identically, and within one bucket width
+    /// of the exact sorted quantile for in-range data.
+    #[test]
+    fn histogram_merge_tree_invariant_quantiles(
+        raw in proptest::collection::vec(0u64..100_000, 1..200),
+        cut in 0usize..200,
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&v| v as f64 / 1_000.0).collect();
+        let cut = cut.min(samples.len());
+        let mk = || Histogram::new(0.0, 100.0, 64);
+        let mut whole = mk();
+        for &s in &samples {
+            whole.push(s);
+        }
+        let mut left = mk();
+        for &s in &samples[..cut] {
+            left.push(s);
+        }
+        let mut right = mk();
+        for &s in &samples[cut..] {
+            right.push(s);
+        }
+        left.merge(&right);
+        assert_eq!(whole.count(), left.count());
+        assert_eq!(whole.min(), left.min());
+        assert_eq!(whole.max(), left.max());
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let merged_q = left.quantile(q);
+            assert_eq!(whole.quantile(q), merged_q, "q = {q}");
+            // Documented error bound: one bucket width for in-range samples.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = sorted[rank.min(sorted.len() - 1)];
+            let approx = merged_q.unwrap();
+            assert!(
+                (approx - exact).abs() <= whole.bucket_width() + 1e-9,
+                "q = {q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+}
