@@ -50,13 +50,14 @@ use std::time::{Duration, Instant};
 /// 13.182 s before the incremental-assembly and fork-and-replay work —
 /// though the box itself had also drifted ~20 % slower by the time of that
 /// reading, so the true engine delta is larger than the two figures
-/// suggest). The previous figure (32.704 s) reflected the observer-fleet
-/// growth: a 23rd experiment (`observer_fleet`, four adversary worlds with
-/// an 8-observer fleet) plus per-observer bookkeeping in every sim. The
-/// current figure adds the 24th experiment (`streaming`: seven full
-/// event-stream replays per dataset through the incremental auditor, each
-/// ending in an exact verdict) — again added workload, not a regression.
-const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 37.906;
+/// suggest). The 32.704 s figure reflected the observer-fleet growth
+/// (23rd experiment plus per-observer bookkeeping); 37.906 s added the
+/// 24th (`streaming`: seven full event-stream replays per dataset). The
+/// current figure is a genuine engine win at unchanged workload: the
+/// streaming auditor's cross-block pair scans moved from per-pair probing
+/// to sorted-merge/bitset kernels, and issuance moved to pre-generated
+/// per-transaction draw records (the fork-join layer's serial path).
+const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 27.332;
 
 /// Checked-in wall-time anchor CI gates against (`ci/bench_baseline_wall_seconds.txt`).
 /// Read at runtime so the emitted speedup always compares to the same number
@@ -313,18 +314,26 @@ fn write_bench_json(
 ) -> std::io::Result<()> {
     let mut json = String::new();
     json.push_str("{\n");
-    // Schema 4: adds the `streaming` block (ingestion counters, replay
-    // throughput, peak RSS from the streaming experiment or the `--stream`
-    // service loop) and the "stream" mode. Schema 3 added per-observer
-    // snapshot/degraded counters, the fleet subsystem-seconds slot, and
-    // the tri-state mode (serial/serial-auto/parallel). Bump on any key
-    // change so trajectory tooling can tell versions apart without
-    // sniffing.
-    json.push_str("  \"schema\": 4,\n");
+    // Schema 5: adds intra-simulation fork-join accounting — the
+    // `sim_workers` width used inside each simulation, the `pregen`
+    // subsystem-seconds slot, and the per-worker `pregen_shards`
+    // breakdown (items claimed + seconds per worker slot, summed over
+    // every pre-generation batch). Schema 4 added the `streaming` block
+    // (ingestion counters, replay throughput, peak RSS) and the "stream"
+    // mode. Schema 3 added per-observer snapshot/degraded counters, the
+    // fleet subsystem-seconds slot, and the tri-state mode
+    // (serial/serial-auto/parallel). Bump on any key change so trajectory
+    // tooling can tell versions apart without sniffing.
+    json.push_str("  \"schema\": 5,\n");
     let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "full" });
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"workers_detected\": {workers_detected},");
     let _ = writeln!(json, "  \"workers_used\": {workers_used},");
+    // The fork-join width *inside* each simulation (workload
+    // pre-generation; also what the streaming auditor and reconciler
+    // default to). Honors CN_WORKERS, so the CI dual-run gate's forced
+    // widths are visible in the artifact it checks.
+    let _ = writeln!(json, "  \"sim_workers\": {},", cn_stats::Pool::auto().workers());
     json.push_str("  \"dataset_sim_seconds\": {\n");
     let sim = lab.sim_seconds();
     for (i, name) in DATASET_NAMES.iter().enumerate() {
@@ -372,7 +381,16 @@ fn write_bench_json(
                 let _ = writeln!(json, "        \"mempool\": {:.3},", p.mempool);
                 let _ = writeln!(json, "        \"assembly\": {:.3},", p.assembly);
                 let _ = writeln!(json, "        \"snapshot\": {:.3},", p.snapshot);
-                let _ = writeln!(json, "        \"fleet\": {:.3}", p.fleet);
+                let _ = writeln!(json, "        \"fleet\": {:.3},", p.fleet);
+                let _ = writeln!(json, "        \"pregen\": {:.3}", p.pregen);
+                let _ = writeln!(json, "      }},");
+                let _ = writeln!(json, "      \"pregen_shards\": {{");
+                let _ = writeln!(json, "        \"batches\": {},", p.pregen_batches);
+                let _ = writeln!(json, "        \"items\": {},", p.pregen_items);
+                let _ = writeln!(json, "        \"items_per_worker\": {:?},", p.pregen_shard_items);
+                let secs: Vec<String> =
+                    p.pregen_shard_seconds.iter().map(|s| format!("{s:.3}")).collect();
+                let _ = writeln!(json, "        \"seconds_per_worker\": [{}]", secs.join(", "));
                 let _ = writeln!(json, "      }}");
                 let _ = writeln!(json, "    }}{comma}");
             }

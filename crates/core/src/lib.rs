@@ -87,10 +87,16 @@ pub use coverage::{SnapshotCoverage, StreamExpectation};
 pub use error::AuditError;
 pub use darkfee::{sppe_threshold_table, SppeThresholdRow};
 pub use index::{BlockInfo, ChainIndex, TxRecord};
-pub use pairs::{count_violations_cdq, count_violations_reference, PairObservation, PairStats};
+pub use pairs::{
+    count_cross_block, count_cross_block_bitset, count_cross_block_merge,
+    count_cross_block_reference, count_violations_cdq, count_violations_reference, BlockPairSet,
+    PairObservation, PairStats,
+};
 pub use ppe::{block_ppe, chain_ppe, ppe_by_miner};
 pub use prioritization::{differential_prioritization, windowed_prioritization, DifferentialTest};
-pub use reconcile::{audit_with_fleet, reconcile, FirstSeenStats, FleetView, ObserverView};
+pub use reconcile::{
+    audit_with_fleet, reconcile, reconcile_with_pool, FirstSeenStats, FleetView, ObserverView,
+};
 pub use sppe::{sppe_for_miner, tx_sppe};
 pub use streaming::{
     interleave, RollingMiner, RollingVerdict, StreamCounters, StreamEvent, StreamingAuditor,

@@ -36,6 +36,7 @@ use crate::error::AuditError;
 use crate::index::ChainIndex;
 use cn_chain::{Chain, FastMap, Timestamp, Txid};
 use cn_mempool::{MempoolSnapshot, SnapshotEntry};
+use cn_stats::Pool;
 use std::collections::BTreeMap;
 
 /// One observer's contribution to the fleet: its label, its snapshot
@@ -136,6 +137,15 @@ impl FleetView {
 /// observer recorded nothing; any single surviving vantage point keeps
 /// the fleet auditable (graceful degradation).
 pub fn reconcile(views: &[ObserverView]) -> Result<FleetView, AuditError> {
+    reconcile_with_pool(views, Pool::auto())
+}
+
+/// [`reconcile`] with an explicit fork-join width for the per-observer
+/// folds. The reconciliation is byte-identical at any width (the pool's
+/// order-preserving join); the parameter only moves wall time, and exists
+/// so the serial-vs-parallel identity property can be tested without
+/// touching process-global state.
+pub fn reconcile_with_pool(views: &[ObserverView], pool: Pool) -> Result<FleetView, AuditError> {
     let (live, dead): (Vec<&ObserverView>, Vec<&ObserverView>) =
         views.iter().partition(|v| !v.snapshots.is_empty());
     if live.is_empty() {
@@ -143,12 +153,11 @@ pub fn reconcile(views: &[ObserverView]) -> Result<FleetView, AuditError> {
     }
     let labels: Vec<String> = live.iter().map(|v| v.label.clone()).collect();
     let dropped: Vec<String> = dead.iter().map(|v| v.label.clone()).collect();
-    let per_observer: Vec<SnapshotCoverage> = live
-        .iter()
-        .map(|v| {
-            SnapshotCoverage::assess(&v.snapshots, v.expectation.windows, v.expectation.detailed)
-        })
-        .collect();
+    // Each observer's coverage assessment reads only its own stream: fan
+    // out per observer, join in roster order.
+    let per_observer: Vec<SnapshotCoverage> = pool.map(&live, |v| {
+        SnapshotCoverage::assess(&v.snapshots, v.expectation.windows, v.expectation.detailed)
+    });
 
     // The fused stream promises the widest schedule any live observer
     // promised; min_coverage is the strictest floor among them.
@@ -158,9 +167,9 @@ pub fn reconcile(views: &[ObserverView]) -> Result<FleetView, AuditError> {
         min_coverage: live.iter().map(|v| v.expectation.min_coverage).fold(0.0, f64::max),
     };
 
-    let fused = fuse_streams(&live);
+    let fused = fuse_streams(&live, pool);
     let coverage = SnapshotCoverage::assess(&fused, expectation.windows, expectation.detailed);
-    let first_seen = first_seen_stats(&live);
+    let first_seen = first_seen_stats(&live, pool);
 
     Ok(FleetView { labels, dropped, per_observer, fused, coverage, first_seen, expectation })
 }
@@ -181,7 +190,12 @@ pub fn audit_with_fleet(
 }
 
 /// Unions the live observers' streams window by window.
-fn fuse_streams(live: &[&ObserverView]) -> Vec<MempoolSnapshot> {
+///
+/// Window membership is decided serially (a cheap time-keyed bucketing);
+/// the per-window unions — where the row merging actually costs — are
+/// independent of one another and fan out across the pool, joined back in
+/// ascending window order.
+fn fuse_streams(live: &[&ObserverView], pool: Pool) -> Vec<MempoolSnapshot> {
     if let [solo] = live {
         // A one-eyed fleet *is* its observer: share the rows (Arc clones)
         // instead of re-sorting every window's union of one.
@@ -193,9 +207,9 @@ fn fuse_streams(live: &[&ObserverView]) -> Vec<MempoolSnapshot> {
             by_time.entry(snap.time).or_default().push(snap);
         }
     }
-    by_time
-        .into_iter()
-        .map(|(time, contributors)| {
+    let windows: Vec<(Timestamp, Vec<&MempoolSnapshot>)> = by_time.into_iter().collect();
+    pool.map(&windows, |(time, contributors)| {
+        let time = *time;
             // One healthy contributor heals the window: stamps survive
             // fusion only when unanimous.
             let all_degraded = contributors.iter().all(|s| s.is_degraded());
@@ -237,27 +251,25 @@ fn fuse_streams(live: &[&ObserverView]) -> Vec<MempoolSnapshot> {
             }
             snap
         })
-        .collect()
 }
 
 /// Computes the cross-observer first-seen agreement statistics.
-fn first_seen_stats(live: &[&ObserverView]) -> FirstSeenStats {
-    // Per-observer earliest sighting per txid.
-    let per_obs: Vec<FastMap<Txid, Timestamp>> = live
-        .iter()
-        .map(|view| {
-            let mut first: FastMap<Txid, Timestamp> = FastMap::default();
-            for snap in view.snapshots.iter().filter(|s| s.is_detailed()) {
-                for e in snap.entries.iter() {
-                    first
-                        .entry(e.txid)
-                        .and_modify(|t| *t = (*t).min(e.received))
-                        .or_insert(e.received);
-                }
+fn first_seen_stats(live: &[&ObserverView], pool: Pool) -> FirstSeenStats {
+    // Per-observer earliest sighting per txid: each map reads only its own
+    // observer's stream, so the builds fan out; the cross-observer merge
+    // below stays serial in roster order.
+    let per_obs: Vec<FastMap<Txid, Timestamp>> = pool.map(live, |view| {
+        let mut first: FastMap<Txid, Timestamp> = FastMap::default();
+        for snap in view.snapshots.iter().filter(|s| s.is_detailed()) {
+            for e in snap.entries.iter() {
+                first
+                    .entry(e.txid)
+                    .and_modify(|t| *t = (*t).min(e.received))
+                    .or_insert(e.received);
             }
-            first
-        })
-        .collect();
+        }
+        first
+    });
 
     let mut sightings: FastMap<Txid, (Timestamp, Timestamp, usize)> = FastMap::default();
     for first in &per_obs {

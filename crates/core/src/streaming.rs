@@ -54,13 +54,14 @@ use crate::auditor::{audit_attributed, AuditConfig, AuditReport};
 use crate::coverage::{SnapshotCoverage, StreamExpectation};
 use crate::error::AuditError;
 use crate::index::ChainIndex;
+use crate::pairs::{count_cross_block, BlockPairSet};
 use crate::ppe::block_ppe;
 use crate::self_interest::SelfInterestMap;
 use crate::sppe::block_sppes;
 use cn_chain::{Address, Block, FastMap, FastSet, FeeRate, Timestamp, Txid, UtxoSet};
 use cn_mempool::MempoolSnapshot;
 use cn_stats::stream::{Histogram, MinerAccumulator};
-use cn_stats::{binomial_test, fisher_combine, Tail};
+use cn_stats::{binomial_test, fisher_combine, Pool, Tail};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// One event of the interleaved audit input stream.
@@ -190,6 +191,10 @@ struct WindowBlock {
     time: Timestamp,
     miner: Option<String>,
     rows: Vec<WindowRow>,
+    /// Eligible rows pre-sorted for the cross-block pair kernels, built
+    /// once when this height seals and reused by every later seal that
+    /// pairs against it.
+    pairs: Option<BlockPairSet>,
 }
 
 /// One miner's row of a [`RollingVerdict`].
@@ -313,6 +318,10 @@ pub struct StreamingAuditor {
     delay_hist: Histogram,
     feerate_hist: Histogram,
 
+    /// Fork-join pool for the window pair scans (deterministic join; a
+    /// width-1 pool is exactly the serial loop).
+    pool: Pool,
+
     counters: StreamCounters,
 }
 
@@ -341,8 +350,16 @@ impl StreamingAuditor {
             // 30 s buckets out to 2 h; 1 sat/vB buckets out to 500.
             delay_hist: Histogram::new(0.0, 7_200.0, 240),
             feerate_hist: Histogram::new(0.0, 500.0, 500),
+            pool: Pool::auto(),
             counters: StreamCounters::default(),
         }
+    }
+
+    /// Overrides the fork-join width for the window pair scans. Output is
+    /// byte-identical at any width; this only moves wall time.
+    pub fn with_workers(mut self, workers: usize) -> StreamingAuditor {
+        self.pool = Pool::with_workers(workers);
+        self
     }
 
     /// The configured parameters.
@@ -482,7 +499,7 @@ impl StreamingAuditor {
             .collect();
         self.window.insert(
             height,
-            WindowBlock { time: info.time, miner: info.miner.clone(), rows },
+            WindowBlock { time: info.time, miner: info.miner.clone(), rows, pairs: None },
         );
     }
 
@@ -530,35 +547,41 @@ impl StreamingAuditor {
         // confirmed later.
         let eps = self.config.epsilon_secs;
         let lo = height.saturating_sub(self.config.window_blocks);
+        // The sealing block's eligible rows (first-seen joined, CPFP
+        // excluded), pre-sorted once for all its window comparisons. A
+        // pair is a candidate when one side was seen ≥ ε earlier at a
+        // strictly higher fee rate, and violating when that side
+        // nevertheless confirmed later — exactly the nested scan
+        // `count_cross_block_reference` spells out; the kernels are
+        // integer-exact replacements.
+        let sealed_set = BlockPairSet::new(
+            sealed_block
+                .rows
+                .iter()
+                .filter(|r| !r.excluded)
+                .filter_map(|r| r.seen.map(|s| (s.received, r.fee_rate))),
+        );
+        let partners: Vec<(&str, &BlockPairSet)> = self
+            .window
+            .range(lo..height)
+            .filter_map(|(_, earlier)| match (earlier.miner.as_deref(), earlier.pairs.as_ref()) {
+                (Some(miner), Some(pairs)) => Some((miner, pairs)),
+                _ => None,
+            })
+            .collect();
+        // Each window comparison is independent; fan out only when the
+        // kernels have real work, otherwise thread spawn dominates.
+        let work: usize =
+            sealed_set.len() * partners.iter().map(|(_, p)| p.len()).sum::<usize>();
+        let pool =
+            if work >= 1 << 16 { self.pool } else { Pool::serial() };
+        let counts = pool.map(&partners, |&(_, pairs)| count_cross_block(&sealed_set, pairs, eps));
         let mut charges: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
-        for (_, earlier) in self.window.range(lo..height) {
-            let Some(miner) = earlier.miner.as_deref() else { continue };
-            let mut violating = 0u64;
-            let mut candidates = 0u64;
-            for a in sealed_block.rows.iter().filter(|r| !r.excluded) {
-                let Some(seen_a) = a.seen else { continue };
-                for b in earlier.rows.iter().filter(|r| !r.excluded) {
-                    let Some(seen_b) = b.seen else { continue };
-                    if seen_b.received.saturating_add(eps) < seen_a.received
-                        && b.fee_rate > a.fee_rate
-                    {
-                        // b seen earlier at a higher rate, confirmed
-                        // earlier: the norm held.
-                        candidates += 1;
-                    } else if seen_a.received.saturating_add(eps) < seen_b.received
-                        && a.fee_rate > b.fee_rate
-                    {
-                        // a seen earlier at a higher rate, yet b confirmed
-                        // first: violation.
-                        candidates += 1;
-                        violating += 1;
-                    }
-                }
-            }
-            if candidates > 0 {
+        for (&(miner, _), stats) in partners.iter().zip(&counts) {
+            if stats.candidates > 0 {
                 let c = charges.entry(miner).or_default();
-                c.0 += violating;
-                c.1 += candidates;
+                c.0 += stats.violating;
+                c.1 += stats.candidates;
             }
         }
         for (miner, (violating, candidates)) in charges {
@@ -566,7 +589,8 @@ impl StreamingAuditor {
         }
 
         // Re-insert: the sealed height remains a comparison partner for
-        // the next `window_blocks` seals.
+        // the next `window_blocks` seals, carrying its pre-sorted rows.
+        sealed_block.pairs = Some(sealed_set);
         self.window.insert(height, sealed_block);
     }
 

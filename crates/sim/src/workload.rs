@@ -59,6 +59,30 @@ pub enum PaymentTarget {
     To(Address),
 }
 
+/// The random draws one payment consumes, separated from their
+/// application so issuance can be sharded across workers.
+///
+/// Every field is a pure function of the drawing RNG and the fixed wallet
+/// population — nothing here reads the live ledger, the estimator, or the
+/// backlog. [`Workload::build_payment`] then *applies* the draws against
+/// mutable state serially, in event order. That split is what makes
+/// batch-parallel pre-generation byte-identical to the serial loop: draws
+/// for transaction *i* come from its own indexed RNG fork, so neither
+/// batch size nor worker count can change any value.
+#[derive(Clone, Copy, Debug)]
+pub struct PaymentDraws {
+    /// Candidate funding wallets (used when no explicit source is given;
+    /// sparse wallets are skipped in order).
+    pub candidates: [u32; 8],
+    /// Recipient wallet index (used for [`PaymentTarget::RandomUser`]).
+    pub recipient: u32,
+    /// Raw virtual-size target sample (clamped at application time).
+    pub target_vsize: f64,
+    /// Raw payment-value sample (clamped against the source at
+    /// application time).
+    pub payment_value: f64,
+}
+
 /// Wallets and the spendable-output ledger.
 #[derive(Clone, Debug)]
 pub struct Workload {
@@ -176,21 +200,40 @@ impl Workload {
         self.per_owner.entry(owner).or_default().push(op);
     }
 
-    /// Pops a spendable output owned by `owner` (or a random user when
-    /// `None`), optionally allowing pending-ok outputs.
+    /// Samples everything one payment will consume from `rng`, without
+    /// touching any mutable state. Apply with [`Workload::build_payment`].
+    ///
+    /// The draws are unconditional: every payment consumes the same number
+    /// of samples regardless of how application later branches (source
+    /// exhausted, fee too large, explicit recipient). That fixed shape is
+    /// what keeps per-transaction RNG forks aligned across worker counts.
+    pub fn draw_payment(&self, rng: &mut SimRng) -> PaymentDraws {
+        let mut candidates = [0u32; 8];
+        for slot in &mut candidates {
+            *slot = rng.next_below(self.users.len() as u64) as u32;
+        }
+        PaymentDraws {
+            candidates,
+            recipient: rng.next_below(self.users.len() as u64) as u32,
+            target_vsize: self.target_vsize.sample(rng),
+            payment_value: self.payment_value.sample(rng),
+        }
+    }
+
+    /// Pops a spendable output owned by `owner` (or one of the pre-drawn
+    /// candidate users when `None`), optionally allowing pending-ok
+    /// outputs.
     fn pick_source(
         &mut self,
-        rng: &mut SimRng,
+        candidates: &[u32; 8],
         owner: Option<Address>,
         allow_pending: bool,
     ) -> Option<(OutPoint, OutputMeta)> {
         let candidates: Vec<Address> = match owner {
             Some(a) => vec![a],
             None => {
-                // Try a few random users; sparse wallets are skipped.
-                (0..8)
-                    .map(|_| self.users[rng.next_below(self.users.len() as u64) as usize])
-                    .collect()
+                // Try a few pre-drawn users; sparse wallets are skipped.
+                candidates.iter().map(|&i| self.users[i as usize]).collect()
             }
         };
         for addr in candidates {
@@ -226,23 +269,22 @@ impl Workload {
         None
     }
 
-    /// Builds a payment. Returns `None` when no eligible source output
+    /// Applies pre-sampled [`PaymentDraws`] against the live ledger,
+    /// building a payment. Returns `None` when no eligible source output
     /// exists (the caller simply skips this arrival).
     pub fn build_payment(
         &mut self,
-        rng: &mut SimRng,
+        draws: &PaymentDraws,
         from: Option<Address>,
         to: PaymentTarget,
         fee_rate: FeeRate,
         allow_pending: bool,
     ) -> Option<BuiltTx> {
-        let (source_op, source) = self.pick_source(rng, from, allow_pending)?;
+        let (source_op, source) = self.pick_source(&draws.candidates, from, allow_pending)?;
         let spends_unconfirmed = source.state == OutState::PendingOk;
         let recipient = match to {
             PaymentTarget::To(a) => a,
-            PaymentTarget::RandomUser => {
-                self.users[rng.next_below(self.users.len() as u64) as usize]
-            }
+            PaymentTarget::RandomUser => self.users[draws.recipient as usize],
         };
 
         // Size the transaction: pad the unlocking data toward a sampled
@@ -250,7 +292,7 @@ impl Workload {
         // without extra UTXO bookkeeping). SegWit owners spend with
         // witness data (discounted 4x in virtual size), legacy owners
         // with scriptSig bytes.
-        let target = self.target_vsize.sample(rng).clamp(150.0, 3_000.0) as u64;
+        let target = draws.target_vsize.clamp(150.0, 3_000.0) as u64;
         // A 1-in-2-out p2pkh baseline is ~119 vB plus the script bytes.
         let pad = (target.saturating_sub(119)).clamp(60, 2_800) as usize;
         let (script_len, witness_len) = match source.owner {
@@ -277,7 +319,7 @@ impl Workload {
             return None;
         }
         let spendable = available - fee.to_sat();
-        let mut payment = self.payment_value.sample(rng) as u64;
+        let mut payment = draws.payment_value as u64;
         payment = payment.clamp(DUST, spendable.saturating_sub(DUST));
         let change = spendable - payment;
 
@@ -378,6 +420,19 @@ mod tests {
         (wl, chain, SimRng::seed_from_u64(77))
     }
 
+    /// Draw-then-apply in one step, as the serial world loop does.
+    fn pay(
+        wl: &mut Workload,
+        rng: &mut SimRng,
+        from: Option<Address>,
+        to: PaymentTarget,
+        rate: FeeRate,
+        allow_pending: bool,
+    ) -> Option<BuiltTx> {
+        let draws = wl.draw_payment(rng);
+        wl.build_payment(&draws, from, to, rate, allow_pending)
+    }
+
     #[test]
     fn seeding_registers_spendables() {
         let (wl, chain, _) = setup();
@@ -388,8 +443,7 @@ mod tests {
     #[test]
     fn payments_are_consensus_valid() {
         let (mut wl, chain, mut rng) = setup();
-        let built = wl
-            .build_payment(&mut rng, None, PaymentTarget::RandomUser, FeeRate::from_sat_per_vb(10), false)
+        let built = pay(&mut wl, &mut rng, None, PaymentTarget::RandomUser, FeeRate::from_sat_per_vb(10), false)
             .expect("source available");
         // The fee claimed must equal what the UTXO set computes.
         let fee = chain.utxos().fee(&built.tx).expect("spendable inputs");
@@ -404,22 +458,21 @@ mod tests {
         // Drain one user's confirmed outputs to force a pending pick.
         let owner = wl.users()[0];
         let rate = FeeRate::from_sat_per_vb(5);
-        let first = wl
-            .build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, true)
+        let first = pay(&mut wl, &mut rng, Some(owner), PaymentTarget::To(owner), rate, true)
             .expect("confirmed source");
         // Self-payment: owner's new outputs are pending-locked.
         for _ in 0..2 {
-            let _ = wl.build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
+            let _ = pay(&mut wl, &mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
         }
         // After exhausting confirmed sources, pending-locked must not be spent.
         let before = wl.spendable_count();
-        let blocked = wl.build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
+        let blocked = pay(&mut wl, &mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
         assert!(blocked.is_none(), "locked outputs must be unspendable");
         assert_eq!(wl.spendable_count(), before);
         // Once universally accepted, they unlock.
         wl.mark_broadcast_ok(&first.tx.txid());
         let unblocked =
-            wl.build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
+            pay(&mut wl, &mut rng, Some(owner), PaymentTarget::To(owner), rate, true);
         assert!(unblocked.is_some());
         assert!(unblocked.expect("built").spends_unconfirmed);
     }
@@ -429,17 +482,14 @@ mod tests {
         let (mut wl, _, mut rng) = setup();
         let owner = wl.users()[1];
         let rate = FeeRate::from_sat_per_vb(5);
-        let parent = wl
-            .build_payment(&mut rng, Some(owner), PaymentTarget::To(owner), rate, false)
+        let parent = pay(&mut wl, &mut rng, Some(owner), PaymentTarget::To(owner), rate, false)
             .expect("confirmed source");
         wl.mark_broadcast_ok(&parent.tx.txid());
         // Exhaust remaining confirmed outputs for this owner.
-        while wl
-            .build_payment(&mut rng, Some(owner), PaymentTarget::RandomUser, rate, false)
+        while pay(&mut wl, &mut rng, Some(owner), PaymentTarget::RandomUser, rate, false)
             .is_some()
         {}
-        let child = wl
-            .build_payment(&mut rng, Some(owner), PaymentTarget::RandomUser, rate, true)
+        let child = pay(&mut wl, &mut rng, Some(owner), PaymentTarget::RandomUser, rate, true)
             .expect("pending-ok source");
         assert!(child.spends_unconfirmed);
     }
@@ -447,8 +497,7 @@ mod tests {
     #[test]
     fn confirmation_promotes_outputs_and_coinbase() {
         let (mut wl, _, mut rng) = setup();
-        let built = wl
-            .build_payment(&mut rng, None, PaymentTarget::RandomUser, FeeRate::from_sat_per_vb(5), false)
+        let built = pay(&mut wl, &mut rng, None, PaymentTarget::RandomUser, FeeRate::from_sat_per_vb(5), false)
             .expect("built");
         let pool_wallet = Address::from_label("pool:X:0");
         let cb = cn_chain::CoinbaseBuilder::new(0)
@@ -467,7 +516,8 @@ mod tests {
         // Outputs of the confirmed tx unlocked (+2) and coinbase added (+1).
         assert_eq!(wl.spendable_count(), before + 3);
         // Pool wallet can now fund a self-interest transfer.
-        let self_tx = wl.build_payment(
+        let self_tx = pay(
+            &mut wl,
             &mut rng,
             Some(pool_wallet),
             PaymentTarget::RandomUser,
@@ -483,8 +533,7 @@ mod tests {
         let (mut wl, chain, mut rng) = setup();
         for rate_vb in [1u64, 10, 200] {
             let rate = FeeRate::from_sat_per_vb(rate_vb);
-            let built = wl
-                .build_payment(&mut rng, None, PaymentTarget::RandomUser, rate, false)
+            let built = pay(&mut wl, &mut rng, None, PaymentTarget::RandomUser, rate, false)
                 .expect("built");
             let fee = chain.utxos().fee(&built.tx).expect("valid");
             let actual = FeeRate::from_fee_and_vsize(fee, built.tx.vsize());
@@ -495,8 +544,7 @@ mod tests {
     #[test]
     fn zero_fee_payment_possible() {
         let (mut wl, chain, mut rng) = setup();
-        let built = wl
-            .build_payment(&mut rng, None, PaymentTarget::RandomUser, FeeRate::ZERO, false)
+        let built = pay(&mut wl, &mut rng, None, PaymentTarget::RandomUser, FeeRate::ZERO, false)
             .expect("built");
         assert_eq!(chain.utxos().fee(&built.tx).expect("valid"), Amount::ZERO);
     }
@@ -506,7 +554,8 @@ mod tests {
         let (mut wl, _, mut rng) = setup();
         let mut sizes = Vec::new();
         for _ in 0..30 {
-            if let Some(b) = wl.build_payment(
+            if let Some(b) = pay(
+                &mut wl,
                 &mut rng,
                 None,
                 PaymentTarget::RandomUser,

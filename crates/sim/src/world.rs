@@ -5,7 +5,7 @@ use crate::event::{BucketQueue, SimMillis};
 use crate::profile::SimProfile;
 use crate::scenario::{PoolBehavior, Scenario};
 use crate::truth::{GroundTruth, TxKind};
-use crate::workload::{BuiltTx, PaymentTarget, Workload};
+use crate::workload::{BuiltTx, PaymentDraws, PaymentTarget, Workload};
 use cn_chain::{Address, Amount, Chain, FastMap, FeeRate, Timestamp, Txid};
 use cn_mempool::{FeeEstimator, MempoolPolicy, MempoolSnapshot};
 use cn_miner::{
@@ -13,10 +13,52 @@ use cn_miner::{
     MinerPolicy, MiningPool,
 };
 use cn_net::{LatencyModel, Network, NodeId, NodeRole, RelayPayload, Topology};
-use cn_stats::{Exponential, LogNormal, SimRng, WeightedIndex};
+use cn_stats::{Exponential, LogNormal, Pool, SimRng, WeightedIndex};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The urgency-quantile menu users draw their fee target from.
+const URGENCY_QUANTILES: [f64; 5] = [0.3, 0.5, 0.7, 0.9, 0.97];
+
+/// How many user-transaction draw records one pre-generation batch holds.
+const PREGEN_BATCH: usize = 1024;
+
+/// Every random value the `index`-th user transaction will consume,
+/// sampled from that transaction's own RNG fork
+/// (`fork_indexed("user-tx", index)`) before the event fires.
+///
+/// The draws are *unconditional* — flips are stored as raw uniforms and
+/// compared against their probabilities at application time — so the
+/// record's shape never depends on simulation state. That makes the whole
+/// batch a pure function of (seed, index): any number of workers can
+/// produce any slice of it, in any order, and the order-preserving join
+/// hands the serial event loop exactly the values it would have drawn
+/// itself.
+struct TxDraws {
+    /// Uniform for the scam-donation flip.
+    scam_u: f64,
+    /// Uniform for the dark-fee acceleration-demand flip.
+    accel_u: f64,
+    /// Uniform for the zero-fee deviant flip.
+    zero_fee_u: f64,
+    /// Index into [`URGENCY_QUANTILES`].
+    q_idx: usize,
+    /// Fee-noise multiplier (LogNormal(0, 0.35)).
+    noise: f64,
+    /// Willingness-to-pay cap in sat/kvB (heavy-tailed).
+    wtp: f64,
+    /// Uniform for the CPFP allow-pending flip.
+    allow_pending_u: f64,
+    /// Payment-construction draws (coin-selection candidates, recipient,
+    /// size and value samples).
+    payment: PaymentDraws,
+    /// Acceleration-provider pick (0 when the scenario has no providers).
+    provider: u32,
+    /// Origin relay node for the broadcast fan-out.
+    origin: u32,
+}
 
 /// Everything a run produces; the audit layer consumes this.
 pub struct SimOutput {
@@ -100,6 +142,21 @@ pub struct World {
     stakeholders: Vec<NodeId>,
     scam_address: Address,
     snapshot_counter: u64,
+    /// Sequential arrival-time stream (Poisson thinning). Forked off the
+    /// transaction root so `rng_tx` itself is never advanced — it serves
+    /// purely as the base for per-transaction indexed forks.
+    rng_arrival: SimRng,
+    /// Pre-generated user-transaction draws, consumed strictly in arrival
+    /// order; refilled a batch at a time by the fork-join pool.
+    pregen: VecDeque<TxDraws>,
+    /// Index of the next user transaction to pre-generate.
+    user_tx_drawn: u64,
+    /// Self-transfers issued so far (indexed-fork input; self-transfers
+    /// are rare, so their draws are taken inline rather than batched).
+    self_tx_count: u64,
+    /// Fork-join pool for pre-generation batches. Worker count never
+    /// affects output bytes — only wall time.
+    pool: Pool,
     /// Dedicated fault stream; forked unconditionally (forking never
     /// advances the parent) but only drawn from when faults are enabled,
     /// keeping `FaultPlan::none()` runs bit-identical.
@@ -258,6 +315,7 @@ impl WorldCheckpoint {
         );
         let root = SimRng::seed_from_u64(scenario.seed);
         let rng_tx = root.fork("transactions");
+        let rng_arrival = rng_tx.fork("arrivals");
         let rng_mine = root.fork("mining");
         let rng_fault = root.fork("faults");
         let downtime_ms = scenario.faults.observer.downtime_windows_ms(scenario.duration * 1_000);
@@ -349,6 +407,11 @@ impl WorldCheckpoint {
             stakeholders: self.stakeholders.clone(),
             scam_address,
             snapshot_counter: 0,
+            rng_arrival,
+            pregen: VecDeque::new(),
+            user_tx_drawn: 0,
+            self_tx_count: 0,
+            pool: Pool::auto(),
             rng_fault,
             downtime_ms,
             orphaned_blocks: 0,
@@ -368,6 +431,17 @@ impl World {
     /// Panics when the scenario fails validation.
     pub fn new(scenario: Scenario) -> World {
         WorldCheckpoint::new(&scenario).fork(scenario)
+    }
+
+    /// Overrides the fork-join worker count for pre-generation batches.
+    ///
+    /// Output bytes are identical at any width (the byte-identity property
+    /// tests run the same scenario at 1 and N workers and compare
+    /// everything); this exists so those tests — and the CI dual-run gate
+    /// — can pin widths regardless of the host or `CN_WORKERS`.
+    pub fn with_workers(mut self, workers: usize) -> World {
+        self.pool = Pool::with_workers(workers);
+        self
     }
 
     /// Runs the scenario to completion and returns its artifacts.
@@ -552,9 +626,9 @@ impl World {
         let gap_dist = Exponential::new(max_rate / 1_000.0); // events per ms
         let mut t = now_ms as f64;
         for _ in 0..100_000 {
-            t += gap_dist.sample(&mut self.rng_tx).max(1.0);
+            t += gap_dist.sample(&mut self.rng_arrival).max(1.0);
             let rate = self.scenario.congestion.rate_at((t / 1_000.0) as Timestamp);
-            if self.rng_tx.next_f64() < rate / max_rate {
+            if self.rng_arrival.next_f64() < rate / max_rate {
                 return Some(t as SimMillis);
             }
         }
@@ -574,20 +648,21 @@ impl World {
             .unwrap_or(FeeRate::MIN_RELAY)
     }
 
-    /// Samples a user's public fee rate from wallet-estimator behaviour.
+    /// A user's public fee rate from wallet-estimator behaviour, applying
+    /// pre-sampled draws (urgency-quantile index, noise multiplier,
+    /// willingness cap) against live state.
     ///
     /// Bids combine the block-history estimator with the *live* backlog
     /// (real wallets use mempool-based estimation too, which is what makes
     /// Figure 4c's fee-vs-congestion monotonicity hold at issue time), and
     /// the estimator's positive feedback loop (bids quote recent blocks,
     /// which quote bids) is broken by a heavy-tailed per-transaction
-    /// willingness-to-pay cap.
-    fn sample_user_fee_rate(&mut self) -> FeeRate {
+    /// willingness-to-pay cap. The random parts live in [`TxDraws`]; the
+    /// state reads happen here, in event order, so pre-generation cannot
+    /// perturb them.
+    fn user_fee_rate(&self, q_idx: usize, noise: f64, wtp: f64) -> FeeRate {
         // Users differ in urgency: quantile of recent block fee rates.
-        let q = *self
-            .rng_tx
-            .choose(&[0.3f64, 0.5, 0.7, 0.9, 0.97])
-            .expect("non-empty");
+        let q = URGENCY_QUANTILES[q_idx];
         let suggested = self.estimator.suggest(q).to_sat_per_kvb() as f64;
         // Live-backlog pressure: how many block-capacities are pending
         // right now at the observer.
@@ -601,35 +676,86 @@ impl World {
         // Calm pools discount the history slightly; deep congestion scales
         // bids up logarithmically.
         let pressure_factor = 0.8 + 0.4 * (1.0 + pressure).ln();
-        let noise = LogNormal::new(0.0, 0.35).sample(&mut self.rng_tx);
         // Willingness cap: median 120 sat/vB, long right tail — matching
         // the paper's observation that fees span 1e-6 to beyond 1 BTC/KB
         // but cluster within two orders of magnitude of the minimum.
-        let wtp = LogNormal::with_median(120_000.0, 1.2).sample(&mut self.rng_tx);
         let floor = FeeRate::MIN_RELAY.to_sat_per_kvb() as f64;
         let rate = (suggested * pressure_factor * noise).min(wtp).max(floor);
         FeeRate::from_sat_per_kvb(rate as u64)
     }
 
+    /// Samples the full draw record for user transaction `index` from its
+    /// own RNG fork. Pure: reads only the fork base and run constants, so
+    /// any worker can produce any index.
+    fn draw_user_tx(
+        base: &SimRng,
+        workload: &Workload,
+        providers: u64,
+        relays: u64,
+        index: u64,
+    ) -> TxDraws {
+        let mut r = base.fork_indexed("user-tx", index);
+        TxDraws {
+            scam_u: r.next_f64(),
+            accel_u: r.next_f64(),
+            zero_fee_u: r.next_f64(),
+            q_idx: r.next_below(URGENCY_QUANTILES.len() as u64) as usize,
+            noise: LogNormal::new(0.0, 0.35).sample(&mut r),
+            wtp: LogNormal::with_median(120_000.0, 1.2).sample(&mut r),
+            allow_pending_u: r.next_f64(),
+            payment: workload.draw_payment(&mut r),
+            provider: if providers > 0 { r.next_below(providers) as u32 } else { 0 },
+            origin: r.next_below(relays) as u32,
+        }
+    }
+
+    /// Refills the pre-generation queue with the next [`PREGEN_BATCH`]
+    /// user-transaction draw records, sharded across the fork-join pool.
+    fn refill_draws(&mut self) {
+        let started = Instant::now();
+        let start = self.user_tx_drawn;
+        let (batch, shards) = {
+            let base = &self.rng_tx;
+            let workload = &self.workload;
+            let providers = self.providers.len() as u64;
+            let relays = self.relay_count as u64;
+            self.pool.build_timed(PREGEN_BATCH, |i| {
+                Self::draw_user_tx(base, workload, providers, relays, start + i as u64)
+            })
+        };
+        self.user_tx_drawn += PREGEN_BATCH as u64;
+        self.pregen.extend(batch);
+        self.profile.note_pregen(&shards);
+        SimProfile::credit(&mut self.profile.pregen, started.elapsed());
+    }
+
     fn issue_user_tx(&mut self, now_ms: SimMillis, queue: &mut BucketQueue<Ev>) {
+        // Top up the pre-generated draw queue before the issue timer
+        // starts, so batch production is attributed to `pregen`, not
+        // `issue`.
+        if self.pregen.is_empty() {
+            self.refill_draws();
+        }
         let issue_started = Instant::now();
         let now_secs = now_ms / 1_000;
-        // Scam donation?
-        let is_scam = match (&self.scenario.scam, ()) {
-            (Some(cfg), ()) => {
+        let draws = self.pregen.pop_front().expect("refilled above");
+        // Scam donation? (The flip's uniform was pre-drawn; the window
+        // check reads the clock, which only exists at application time.)
+        let is_scam = match &self.scenario.scam {
+            Some(cfg) => {
                 now_secs >= cfg.window_start
                     && now_secs < cfg.window_end
-                    && self.rng_tx.next_bool(cfg.donation_prob)
+                    && draws.scam_u < cfg.donation_prob
             }
-            _ => false,
+            None => false,
         };
         // Dark-fee acceleration demand?
         let wants_acceleration = !is_scam
             && !self.providers.is_empty()
-            && self.rng_tx.next_bool(self.scenario.acceleration_demand);
+            && draws.accel_u < self.scenario.acceleration_demand;
         // Zero-fee deviant?
         let zero_fee =
-            !is_scam && !wants_acceleration && self.rng_tx.next_bool(self.scenario.zero_fee_prob);
+            !is_scam && !wants_acceleration && draws.zero_fee_u < self.scenario.zero_fee_prob;
 
         let fee_rate = if zero_fee {
             FeeRate::ZERO
@@ -638,7 +764,7 @@ impl World {
             // the dark fee does the work.
             FeeRate::MIN_RELAY
         } else {
-            self.sample_user_fee_rate()
+            self.user_fee_rate(draws.q_idx, draws.noise, draws.wtp)
         };
 
         let target = if is_scam {
@@ -646,9 +772,9 @@ impl World {
         } else {
             PaymentTarget::RandomUser
         };
-        let allow_pending = self.rng_tx.next_bool(self.scenario.cpfp_prob);
+        let allow_pending = draws.allow_pending_u < self.scenario.cpfp_prob;
         let Some(built) =
-            self.workload.build_payment(&mut self.rng_tx, None, target, fee_rate, allow_pending)
+            self.workload.build_payment(&draws.payment, None, target, fee_rate, allow_pending)
         else {
             SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
             return; // no spendable output right now; skip this arrival
@@ -657,8 +783,7 @@ impl World {
         self.truth.record_issue(built.tx.txid(), kind, now_secs, built.fee);
 
         if wants_acceleration {
-            let provider =
-                self.providers[self.rng_tx.next_below(self.providers.len() as u64) as usize];
+            let provider = self.providers[draws.provider as usize];
             let svc = self.services[provider].as_ref().expect("provider has service");
             let top = self.top_fee_rate();
             let mut svc = svc.lock();
@@ -673,33 +798,44 @@ impl World {
         }
 
         SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
-        self.broadcast(built, now_ms, queue, false);
+        self.broadcast(built, now_ms, queue, false, draws.origin as usize);
     }
 
     fn issue_self_tx(&mut self, pool: usize, now_ms: SimMillis, queue: &mut BucketQueue<Ev>) {
         let issue_started = Instant::now();
         let now_secs = now_ms / 1_000;
+        // Self-transfers are orders of magnitude rarer than user traffic,
+        // so their draws come from an inline indexed fork (same
+        // determinism contract as pre-generation, no batching machinery).
+        let mut r = self.rng_tx.fork_indexed("self-tx", self.self_tx_count);
+        self.self_tx_count += 1;
         // Indexing after the draw keeps the wallet slice borrow disjoint
         // from the RNG borrow — no per-issue wallet-list clone.
         let wallet_count = self.pools[pool].wallets().len();
-        let pick = self.rng_tx.next_below(wallet_count as u64) as usize;
+        let pick = r.next_below(wallet_count as u64) as usize;
         let from = self.pools[pool].wallets()[pick];
+        let consolidates = r.next_bool(0.85);
+        let q_idx = r.next_below(URGENCY_QUANTILES.len() as u64) as usize;
+        let noise = LogNormal::new(0.0, 0.35).sample(&mut r);
+        let wtp = LogNormal::with_median(120_000.0, 1.2).sample(&mut r);
+        let payment = self.workload.draw_payment(&mut r);
+        let origin = r.next_below(self.relay_count as u64) as usize;
         // Pools mostly consolidate their own funds at rock-bottom fee
         // rates (they are not in a hurry — unless, of course, they
         // cheat); under congestion those transfers linger, which is
         // exactly the setting where self-acceleration becomes observable
         // (§5.2). A minority of pool transfers (payouts, exchanges) pay
         // market rates and confirm normally regardless of who mines.
-        let fee_rate = if self.rng_tx.next_bool(0.85) {
+        let fee_rate = if consolidates {
             // Exactly the relay floor: consolidations queue behind every
             // bidder and clear only on deep drains — or in the pool's own
             // blocks.
             FeeRate::MIN_RELAY
         } else {
-            self.sample_user_fee_rate()
+            self.user_fee_rate(q_idx, noise, wtp)
         };
         let Some(built) = self.workload.build_payment(
-            &mut self.rng_tx,
+            &payment,
             Some(from),
             PaymentTarget::RandomUser,
             fee_rate,
@@ -715,7 +851,7 @@ impl World {
             built.fee,
         );
         SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
-        self.broadcast(built, now_ms, queue, true);
+        self.broadcast(built, now_ms, queue, true, origin);
     }
 
     /// Schedules per-stakeholder deliveries for a freshly issued tx,
@@ -723,17 +859,18 @@ impl World {
     /// and adversarial observation attacks (withholding, diffusion
     /// stalls, eclipses) when the scenario enables them. `miner_origin`
     /// marks transfers issued from pool wallets — the traffic the
-    /// `MinerOrigin` withhold predicate targets.
+    /// `MinerOrigin` withhold predicate targets. `origin` is the relay
+    /// node the transaction enters from (users are spread over the edge);
+    /// it is part of the issuer's pre-drawn record.
     fn broadcast(
         &mut self,
         built: BuiltTx,
         now_ms: SimMillis,
         queue: &mut BucketQueue<Ev>,
         miner_origin: bool,
+        origin: usize,
     ) {
         let relay_started = Instant::now();
-        // Issue from a random relay node (users are spread over the edge).
-        let origin = self.rng_tx.next_below(self.relay_count as u64) as usize;
         let arrivals = self.network.propagation_from(origin);
         let link = self.scenario.faults.link;
         let adv = &self.scenario.adversaries;

@@ -1,0 +1,79 @@
+//! Byte-identity of sharded workload pre-generation: the same scenario
+//! run at any fork-join worker count must produce exactly the same
+//! artifacts as the serial loop — chain, snapshot streams, miner
+//! sequence, and event counters. This is the determinism-join contract
+//! (DESIGN.md §8) enforced end-to-end through the simulator.
+
+use cn_sim::{CongestionProfile, PoolBehavior, PoolConfig, ScamConfig, Scenario, SimOutput, World};
+use proptest::prelude::*;
+
+fn scenario(seed: u64) -> Scenario {
+    let mut s = Scenario::base("worker-identity", seed);
+    s.duration = 2 * 3_600;
+    s.users = 60;
+    s.congestion = CongestionProfile::flat(0.8);
+    // Small blocks so contention exists even in a short run.
+    s.params.max_block_weight = 200_000;
+    s
+}
+
+/// A scenario exercising every pre-drawn field: scam flips, acceleration
+/// demand with a dark-fee provider, zero-fee deviants, CPFP, and pool
+/// self-transfers.
+fn full_feature_scenario(seed: u64) -> Scenario {
+    let mut s = scenario(seed);
+    s.pools[1] = PoolConfig::honest("Beta", 0.35, 1)
+        .with_behavior(PoolBehavior::DarkFee { premium: 1.5 });
+    s.acceleration_demand = 0.05;
+    s.zero_fee_prob = 0.02;
+    s.self_interest_rate = 0.01;
+    s.scam = Some(ScamConfig { window_start: 600, window_end: 5_000, donation_prob: 0.1 });
+    s
+}
+
+fn assert_identical(serial: &SimOutput, parallel: &SimOutput, workers: usize) {
+    assert_eq!(serial.chain.tip_hash(), parallel.chain.tip_hash(), "workers={workers}");
+    assert_eq!(serial.chain.height(), parallel.chain.height(), "workers={workers}");
+    assert_eq!(serial.block_miners, parallel.block_miners, "workers={workers}");
+    assert_eq!(serial.snapshots, parallel.snapshots, "workers={workers}");
+    assert_eq!(serial.observer_streams, parallel.observer_streams, "workers={workers}");
+    assert_eq!(serial.orphaned_blocks, parallel.orphaned_blocks, "workers={workers}");
+    assert_eq!(serial.profile.user_txs, parallel.profile.user_txs, "workers={workers}");
+    assert_eq!(serial.profile.self_txs, parallel.profile.self_txs, "workers={workers}");
+    assert_eq!(serial.profile.deliveries, parallel.profile.deliveries, "workers={workers}");
+    assert_eq!(serial.profile.events_popped, parallel.profile.events_popped, "workers={workers}");
+}
+
+#[test]
+fn full_feature_scenario_is_worker_invariant() {
+    let serial = World::new(full_feature_scenario(41)).with_workers(1).run();
+    assert!(serial.profile.user_txs > 100, "scenario must generate real traffic");
+    assert!(serial.profile.self_txs > 0, "scenario must exercise self-transfers");
+    assert!(!serial.truth.accelerated_txids().is_empty(), "must exercise provider draws");
+    for workers in [2, 3, 8] {
+        let parallel = World::new(full_feature_scenario(41)).with_workers(workers).run();
+        assert_identical(&serial, &parallel, workers);
+    }
+}
+
+#[test]
+fn pregen_profile_accounts_for_all_draws() {
+    let out = World::new(scenario(42)).with_workers(4).run();
+    let p = &out.profile;
+    assert!(p.pregen_batches > 0, "user traffic must trigger pre-generation");
+    let per_slot: u64 = p.pregen_shard_items.iter().sum();
+    assert_eq!(per_slot, p.pregen_items, "shard breakdown must cover every item");
+    assert!(p.pregen_items >= p.user_txs, "every issued tx consumes one pre-drawn record");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Randomized: any seed, any worker count 2..=8, bit-identical output.
+    #[test]
+    fn any_worker_count_matches_serial(seed in 0u64..1_000_000, workers in 2usize..=8) {
+        let serial = World::new(scenario(seed)).with_workers(1).run();
+        let parallel = World::new(scenario(seed)).with_workers(workers).run();
+        assert_identical(&serial, &parallel, workers);
+    }
+}

@@ -16,7 +16,10 @@
 //! * a deterministic, seedable RNG (xoshiro256++) and the sampling
 //!   distributions the simulator draws from ([`rng`], [`dist`]) —
 //!   implemented here rather than via `rand_distr` to stay within the
-//!   sanctioned offline dependency set.
+//!   sanctioned offline dependency set,
+//! * a deterministic fork-join worker pool with an order-preserving join
+//!   ([`parwork`]), the substrate for byte-identical intra-simulation
+//!   parallelism.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod fisher;
 pub mod ks;
 pub mod lgamma;
 pub mod normal;
+pub mod parwork;
 pub mod rng;
 pub mod stream;
 pub mod summary;
@@ -39,6 +43,7 @@ pub use fisher::fisher_combine;
 pub use ks::{ks_two_sample, KsTest};
 pub use lgamma::{ln_binomial, ln_factorial, ln_gamma};
 pub use normal::{normal_cdf, normal_sf};
+pub use parwork::{Pool, ShardTiming};
 pub use rng::SimRng;
 pub use stream::{Histogram, MinerAccumulator};
 pub use summary::Summary;

@@ -1,0 +1,224 @@
+//! Deterministic fork-join parallelism on `std::thread::scope`.
+//!
+//! The simulator and auditor must be byte-for-byte reproducible at any
+//! worker count, so this layer enforces one discipline everywhere it is
+//! used: **work items are independent, and results are joined in input
+//! order** regardless of which worker computed them or when it finished.
+//! A caller that needs an order-sensitive fold performs it serially over
+//! the joined vector — the parallel region only ever computes pure
+//! per-item values (the "deterministic join" contract, see DESIGN.md §8).
+//!
+//! No work-stealing runtime and no new dependencies: workers are scoped
+//! threads pulling indices off a shared atomic claim counter, which gives
+//! dynamic load balancing for skewed item costs while the index-addressed
+//! join keeps the output identical to the serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Environment variable overriding the detected worker count (used by the
+/// CI dual-run gate to force 1-worker and N-worker runs on the same box).
+pub const WORKERS_ENV: &str = "CN_WORKERS";
+
+/// Per-worker timing record from a [`Pool::map_timed`] region.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardTiming {
+    /// Number of items this worker claimed.
+    pub items: u64,
+    /// Wall seconds this worker spent inside the region.
+    pub seconds: f64,
+}
+
+/// A fixed-width fork-join pool descriptor.
+///
+/// `Pool` is a plain value (no threads are retained between calls); each
+/// `map` opens a `std::thread::scope`, runs, and joins. A pool of width 1
+/// never spawns and is exactly the serial loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool sized from `CN_WORKERS` if set (clamped to `1..=64`), else
+    /// from [`std::thread::available_parallelism`].
+    pub fn auto() -> Pool {
+        let detected = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = match std::env::var(WORKERS_ENV) {
+            Ok(v) => v.trim().parse::<usize>().unwrap_or(detected).clamp(1, 64),
+            Err(_) => detected,
+        };
+        Pool { workers }
+    }
+
+    /// A pool of exactly `workers` workers (minimum 1).
+    pub fn with_workers(workers: usize) -> Pool {
+        Pool { workers: workers.max(1) }
+    }
+
+    /// A serial pool (width 1); `map` degenerates to the plain loop.
+    pub fn serial() -> Pool {
+        Pool { workers: 1 }
+    }
+
+    /// The pool width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item and returns results in **input order**.
+    ///
+    /// `f` must be a pure function of its item (plus shared read-only
+    /// state); the join is index-addressed, so the output is byte-identical
+    /// to `items.iter().map(f).collect()` at any worker count.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.map_timed(items, f).0
+    }
+
+    /// [`Pool::map`] plus per-worker shard timings (items claimed + wall
+    /// seconds), for the `SimProfile` shard breakdown.
+    pub fn map_timed<T, R, F>(&self, items: &[T], f: F) -> (Vec<R>, Vec<ShardTiming>)
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let width = self.workers.min(n.max(1));
+        if width <= 1 {
+            let start = Instant::now();
+            let out: Vec<R> = items.iter().map(&f).collect();
+            let timing = ShardTiming { items: n as u64, seconds: start.elapsed().as_secs_f64() };
+            return (out, vec![timing]);
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut shards: Vec<(Vec<(usize, R)>, ShardTiming)> = Vec::with_capacity(width);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..width)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let start = Instant::now();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push((i, f(&items[i])));
+                        }
+                        let timing = ShardTiming {
+                            items: out.len() as u64,
+                            seconds: start.elapsed().as_secs_f64(),
+                        };
+                        (out, timing)
+                    })
+                })
+                .collect();
+            for h in handles {
+                shards.push(h.join().expect("parwork worker panicked"));
+            }
+        });
+
+        let mut timings = Vec::with_capacity(width);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (pairs, timing) in shards {
+            timings.push(timing);
+            for (i, r) in pairs {
+                slots[i] = Some(r);
+            }
+        }
+        let out = slots
+            .into_iter()
+            .map(|s| s.expect("every index claimed exactly once"))
+            .collect();
+        (out, timings)
+    }
+
+    /// Generates `count` values from an index-addressed constructor, in
+    /// index order. Sugar for [`Pool::map`] over `0..count` without
+    /// materializing the index vector's contents into item payloads.
+    pub fn build<R, F>(&self, count: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.build_timed(count, f).0
+    }
+
+    /// [`Pool::build`] plus per-worker shard timings.
+    pub fn build_timed<R, F>(&self, count: usize, f: F) -> (Vec<R>, Vec<ShardTiming>)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let idx: Vec<usize> = (0..count).collect();
+        self.map_timed(&idx, |&i| f(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for w in [1, 2, 3, 8] {
+            let out = Pool::with_workers(w).map(&items, |&x| x * 3 + 1);
+            let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn map_matches_serial_for_skewed_costs() {
+        let items: Vec<usize> = (0..64).collect();
+        let work = |&i: &usize| {
+            // Skew: later items spin longer, so claim order != finish order.
+            let mut acc = i as u64;
+            for k in 0..(i * 500) as u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        };
+        let serial = Pool::serial().map(&items, work);
+        let parallel = Pool::with_workers(7).map(&items, work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn timings_cover_all_items() {
+        let items: Vec<u32> = (0..100).collect();
+        let (_, shards) = Pool::with_workers(4).map_timed(&items, |&x| x + 1);
+        assert!(shards.len() <= 4 && !shards.is_empty());
+        let claimed: u64 = shards.iter().map(|s| s.items).sum();
+        assert_eq!(claimed, 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: [u8; 0] = [];
+        assert!(Pool::with_workers(8).map(&empty, |&b| b).is_empty());
+        assert_eq!(Pool::with_workers(8).map(&[7u8], |&b| b * 2), vec![14]);
+    }
+
+    #[test]
+    fn build_is_index_order() {
+        let out = Pool::with_workers(5).build(33, |i| i * i);
+        let expect: Vec<usize> = (0..33).map(|i| i * i).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn width_clamps_to_item_count() {
+        // More workers than items must not deadlock or drop items.
+        let out = Pool::with_workers(16).map(&[1u8, 2], |&b| b);
+        assert_eq!(out, vec![1, 2]);
+    }
+}
