@@ -53,11 +53,16 @@ use std::time::{Duration, Instant};
 /// suggest). The 32.704 s figure reflected the observer-fleet growth
 /// (23rd experiment plus per-observer bookkeeping); 37.906 s added the
 /// 24th (`streaming`: seven full event-stream replays per dataset). The
-/// current figure is a genuine engine win at unchanged workload: the
+/// 27.332 s figure was a genuine engine win at unchanged workload: the
 /// streaming auditor's cross-block pair scans moved from per-pair probing
 /// to sorted-merge/bitset kernels, and issuance moved to pre-generated
-/// per-transaction draw records (the fork-join layer's serial path).
-const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 27.332;
+/// per-transaction draw records (the fork-join layer's serial path). The
+/// current figure (minimum of five runs) is the admission/eviction drain:
+/// relay-shared admission prechecks, batched same-timestamp delivery
+/// admission, parallel per-pool block ticks, and the mempool
+/// index-maintenance diet (weight multiset and fee-rate set deleted,
+/// fixed-point ancestor-rate prefix, seeded-cursor rebuilds).
+const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 23.358;
 
 /// Checked-in wall-time anchor CI gates against (`ci/bench_baseline_wall_seconds.txt`).
 /// Read at runtime so the emitted speedup always compares to the same number
@@ -314,17 +319,22 @@ fn write_bench_json(
 ) -> std::io::Result<()> {
     let mut json = String::new();
     json.push_str("{\n");
-    // Schema 5: adds intra-simulation fork-join accounting — the
-    // `sim_workers` width used inside each simulation, the `pregen`
-    // subsystem-seconds slot, and the per-worker `pregen_shards`
-    // breakdown (items claimed + seconds per worker slot, summed over
-    // every pre-generation batch). Schema 4 added the `streaming` block
-    // (ingestion counters, replay throughput, peak RSS) and the "stream"
-    // mode. Schema 3 added per-observer snapshot/degraded counters, the
-    // fleet subsystem-seconds slot, and the tri-state mode
-    // (serial/serial-auto/parallel). Bump on any key change so trajectory
-    // tooling can tell versions apart without sniffing.
-    json.push_str("  \"schema\": 5,\n");
+    // Schema 6: splits the `mempool` subsystem-seconds slot into
+    // `admission` + `eviction` (per-view block-connect eviction was
+    // previously buried in `assembly`), and adds batched-admission and
+    // rebuild-reason counters (`admission_precheck_hits`,
+    // `delivery_batches`, `batched_deliveries`, `max_delivery_batch`,
+    // `rebuilds_with_{accelerate,decelerate,exclude}`). Schema 5 added
+    // intra-simulation fork-join accounting — the `sim_workers` width
+    // used inside each simulation, the `pregen` subsystem-seconds slot,
+    // and the per-worker `pregen_shards` breakdown. Schema 4 added the
+    // `streaming` block (ingestion counters, replay throughput, peak
+    // RSS) and the "stream" mode. Schema 3 added per-observer
+    // snapshot/degraded counters, the fleet subsystem-seconds slot, and
+    // the tri-state mode (serial/serial-auto/parallel). Bump on any key
+    // change so trajectory tooling can tell versions apart without
+    // sniffing.
+    json.push_str("  \"schema\": 6,\n");
     let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "full" });
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"workers_detected\": {workers_detected},");
@@ -374,11 +384,31 @@ fn write_bench_json(
                     "      \"assembly_full_rebuilds\": {},",
                     p.assembly_full_rebuilds
                 );
+                let _ = writeln!(
+                    json,
+                    "      \"rebuilds_with_accelerate\": {},",
+                    p.rebuilds_with_accelerate
+                );
+                let _ = writeln!(
+                    json,
+                    "      \"rebuilds_with_decelerate\": {},",
+                    p.rebuilds_with_decelerate
+                );
+                let _ = writeln!(json, "      \"rebuilds_with_exclude\": {},", p.rebuilds_with_exclude);
+                let _ = writeln!(
+                    json,
+                    "      \"admission_precheck_hits\": {},",
+                    p.admission_precheck_hits
+                );
+                let _ = writeln!(json, "      \"delivery_batches\": {},", p.delivery_batches);
+                let _ = writeln!(json, "      \"batched_deliveries\": {},", p.batched_deliveries);
+                let _ = writeln!(json, "      \"max_delivery_batch\": {},", p.max_delivery_batch);
                 let _ = writeln!(json, "      \"subsystem_seconds\": {{");
                 let _ = writeln!(json, "        \"issue\": {:.3},", p.issue);
                 let _ = writeln!(json, "        \"relay\": {:.3},", p.relay);
                 let _ = writeln!(json, "        \"faults\": {:.3},", p.faults);
-                let _ = writeln!(json, "        \"mempool\": {:.3},", p.mempool);
+                let _ = writeln!(json, "        \"admission\": {:.3},", p.admission);
+                let _ = writeln!(json, "        \"eviction\": {:.3},", p.eviction);
                 let _ = writeln!(json, "        \"assembly\": {:.3},", p.assembly);
                 let _ = writeln!(json, "        \"snapshot\": {:.3},", p.snapshot);
                 let _ = writeln!(json, "        \"fleet\": {:.3},", p.fleet);

@@ -21,6 +21,10 @@ pub struct MempoolEntry {
     /// Cached descendant-package totals (self + all in-pool descendants).
     pub(crate) desc_fee: u64,
     pub(crate) desc_vsize: u64,
+    /// Cached descendant-package cardinality (self + all in-pool
+    /// descendants), maintained alongside `desc_fee`/`desc_vsize` so the
+    /// descendant-limit policy check is O(1) instead of a closure walk.
+    pub(crate) desc_count: u32,
     /// Interned adjacency: slab handles of the resident parents/children.
     /// Maintained by the pool on every add/remove; dedup'd.
     pub(crate) parents: Vec<u32>,
@@ -47,6 +51,7 @@ impl MempoolEntry {
             anc_vsize: vsize,
             desc_fee: fee.to_sat(),
             desc_vsize: vsize,
+            desc_count: 1,
             parents: Vec::new(),
             children: Vec::new(),
         }
@@ -104,6 +109,56 @@ impl MempoolEntry {
     /// plus every in-pool descendant. Maintained by the pool; O(1).
     pub fn descendant_score(&self) -> (Amount, u64) {
         (Amount::from_sat(self.desc_fee), self.desc_vsize)
+    }
+
+    /// Cached descendant-package cardinality (this transaction plus every
+    /// in-pool descendant). Maintained by the pool; O(1).
+    pub fn descendant_count(&self) -> u32 {
+        self.desc_count
+    }
+}
+
+/// The node-independent slice of admission work for one transaction.
+///
+/// Every receiving node performs the same prefix of admission: derive the
+/// txid, weight, vsize and standalone fee rate, and reduce the input list
+/// to the distinct set of potential in-pool parents. None of that depends
+/// on the receiving node's mempool state or policy, so a relay layer can
+/// compute it once per transaction and share it across the whole fan-out
+/// (see `RelayPayload` in `cn-net`), instead of redoing it per (tx, node).
+#[derive(Clone, Debug)]
+pub struct AdmissionPrecheck {
+    /// Cached transaction id.
+    pub txid: Txid,
+    /// Virtual size in vbytes.
+    pub vsize: u64,
+    /// Standalone fee rate (fee / vsize) for the policy floor check.
+    pub rate: FeeRate,
+    /// Distinct prevout txids in first-appearance order. Per node, the
+    /// resident subset of these (in this order) is exactly the parent set
+    /// the per-input scan used to rebuild: `lookup` is injective, so
+    /// dedup-by-txid and dedup-by-handle agree.
+    pub parent_txids: Vec<Txid>,
+}
+
+impl AdmissionPrecheck {
+    /// Computes the shared admission prefix for `tx` with absolute fee
+    /// `fee`.
+    pub fn of(tx: &Transaction, fee: Amount) -> Self {
+        let vsize = tx.vsize();
+        let mut parent_txids: Vec<Txid> = Vec::new();
+        for input in tx.inputs() {
+            let ptxid = input.prevout.txid;
+            if !parent_txids.contains(&ptxid) {
+                parent_txids.push(ptxid);
+            }
+        }
+        AdmissionPrecheck {
+            txid: tx.txid(),
+            vsize,
+            rate: FeeRate::from_fee_and_vsize(fee, vsize),
+            parent_txids,
+        }
     }
 }
 

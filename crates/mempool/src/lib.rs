@@ -26,7 +26,7 @@ pub mod policy;
 pub mod rbf;
 pub mod snapshot;
 
-pub use entry::MempoolEntry;
+pub use entry::{AdmissionPrecheck, MempoolEntry};
 pub use estimator::FeeEstimator;
 pub use mempool::{AcceptError, AncKey, Mempool, TxHandle};
 pub use policy::MempoolPolicy;

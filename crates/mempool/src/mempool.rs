@@ -8,7 +8,7 @@
 //! [`cn_chain::fasthash`], the same trick as Bitcoin Core's
 //! `SaltedTxidHasher`.
 
-use crate::entry::MempoolEntry;
+use crate::entry::{AdmissionPrecheck, MempoolEntry};
 use crate::policy::MempoolPolicy;
 use crate::snapshot::{MempoolSnapshot, SnapshotEntry};
 use cn_chain::{Amount, Block, FastMap, FeeRate, OutPoint, Timestamp, Transaction, Txid};
@@ -60,9 +60,10 @@ impl fmt::Display for AcceptError {
 
 impl std::error::Error for AcceptError {}
 
-/// Fee-rate-sorted key: iterating the index in reverse yields highest fee
-/// rate first, with FIFO arrival order breaking ties deterministically.
-type RateKey = (FeeRate, Reverse<u64>, Txid);
+/// Fee-rate sort key for [`Mempool::iter_by_fee_rate_desc`]: highest fee
+/// rate first, FIFO arrival order within ties (the arrival sequence is
+/// unique per pool, so the order is total without a txid tie-break).
+type RateKey = (FeeRate, Reverse<u64>, u32);
 
 /// A dense per-pool transaction handle: the slab index a resident was
 /// interned at on admission. Valid until that transaction leaves the pool
@@ -84,6 +85,14 @@ impl TxHandle {
 /// `GetBlockTemplate`'s selection loop wants them.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct AncKey {
+    /// Saturating fixed-point package rate, `floor(fee << 32 / vsize)`:
+    /// a compare-first approximation of the exact cross-multiplied rate.
+    /// `floor` (and saturation) are monotone, so `approx_a < approx_b`
+    /// implies the exact rates compare the same way; only equal
+    /// approximations fall through to the exact comparison. Most tree
+    /// descents therefore resolve on one integer compare instead of two
+    /// 128-bit multiplications per node.
+    pub approx: u64,
     /// Ancestor-package fee in satoshis at the time the key was indexed.
     pub fee: u64,
     /// Ancestor-package virtual size.
@@ -96,11 +105,22 @@ pub struct AncKey {
     pub handle: TxHandle,
 }
 
+impl AncKey {
+    /// The monotone fixed-point rate prefix for (`fee`, `vsize`).
+    pub fn approx_rate(fee: u64, vsize: u64) -> u64 {
+        (((fee as u128) << 32) / vsize.max(1) as u128).min(u64::MAX as u128) as u64
+    }
+}
+
 impl Ord for AncKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        let lhs = self.fee as u128 * other.vsize as u128;
-        let rhs = other.fee as u128 * self.vsize as u128;
-        lhs.cmp(&rhs)
+        self.approx
+            .cmp(&other.approx)
+            .then_with(|| {
+                let lhs = self.fee as u128 * other.vsize as u128;
+                let rhs = other.fee as u128 * self.vsize as u128;
+                lhs.cmp(&rhs)
+            })
             // Smaller packages first among equal rates (Core's heuristic).
             .then_with(|| other.vsize.cmp(&self.vsize))
             // Earlier arrival wins: greater-is-better, so compare reversed.
@@ -140,16 +160,12 @@ pub struct Mempool {
     /// The intern arena. `None` slots are free and listed in `free`.
     slots: Vec<Option<MempoolEntry>>,
     free: Vec<u32>,
-    by_rate: BTreeSet<RateKey>,
     /// In-pool spends, for conflict detection and confirmed-conflict eviction.
-    spent: FastMap<OutPoint, Txid>,
+    spent: FastMap<OutPoint, u32>,
     /// Ancestor-package score index, maintained on every add/remove/confirm
     /// so the assembler's selection loop can walk residents best-first
     /// without rebuilding a heap per block.
     anc_index: BTreeSet<AncKey>,
-    /// Multiset of resident tx weights; the assembler's early-exit bound
-    /// (`min` over candidates) in O(1).
-    weights: BTreeMap<u64, u32>,
     /// Descendant-package fee rate index — the `-maxmempool` eviction order.
     /// Maintained only once [`Mempool::activate_index`] has run.
     by_desc_rate: BTreeSet<(FeeRate, Txid)>,
@@ -251,10 +267,15 @@ impl Mempool {
         self.anc_index.iter()
     }
 
-    /// Smallest resident transaction weight, O(1) from the maintained
-    /// multiset.
+    /// Smallest resident transaction weight.
+    ///
+    /// One dense slab scan per call (weights are cached on the
+    /// transaction, so each slot is a pointer chase, not a recompute).
+    /// The assembler asks once per template — tens of scans per simulated
+    /// hour — which is far cheaper than the sorted multiset this used to
+    /// maintain across every admission and eviction on the hot path.
     pub fn min_tx_weight(&self) -> Option<u64> {
-        self.weights.keys().next().copied()
+        self.slots.iter().flatten().map(|e| e.tx().weight()).min()
     }
 
     /// Attempts to admit `tx` with externally computed `fee` at time `now`.
@@ -270,11 +291,27 @@ impl Mempool {
         fee: Amount,
         now: Timestamp,
     ) -> Result<Txid, AcceptError> {
-        let txid = tx.txid();
+        let pre = AdmissionPrecheck::of(&tx, fee);
+        self.add_prechecked(tx, fee, now, &pre)
+    }
+
+    /// Like [`Mempool::add_shared`], but consumes a shared
+    /// [`AdmissionPrecheck`]: the node-independent admission prefix (txid,
+    /// vsize, standalone rate, distinct prevout txids) computed once per
+    /// transaction by the relay layer and reused by every receiving node,
+    /// instead of recomputed per (tx, node).
+    pub fn add_prechecked(
+        &mut self,
+        tx: Arc<Transaction>,
+        fee: Amount,
+        now: Timestamp,
+        pre: &AdmissionPrecheck,
+    ) -> Result<Txid, AcceptError> {
+        let txid = pre.txid;
         if self.lookup.contains_key(&txid) {
             return Err(AcceptError::Duplicate);
         }
-        let rate = FeeRate::from_fee_and_vsize(fee, tx.vsize());
+        let rate = pre.rate;
         if let Some(floor) = self.policy.min_fee_rate {
             if rate < floor {
                 return Err(AcceptError::BelowMinFeeRate { offered: rate, floor });
@@ -282,16 +319,19 @@ impl Mempool {
         }
         for input in tx.inputs() {
             if let Some(&existing) = self.spent.get(&input.prevout) {
-                return Err(AcceptError::Conflict { outpoint: input.prevout, existing });
+                return Err(AcceptError::Conflict {
+                    outpoint: input.prevout,
+                    existing: self.slot(existing).txid(),
+                });
             }
         }
-        // Package limits against in-pool ancestors.
-        let mut parents: Vec<u32> = Vec::new();
-        for input in tx.inputs() {
-            if let Some(&p) = self.lookup.get(&input.prevout.txid) {
-                if !parents.contains(&p) {
-                    parents.push(p);
-                }
+        // Package limits against in-pool ancestors. The resident subset of
+        // the precheck's distinct prevout txids, in precheck order, is
+        // exactly the parent set the per-input scan used to rebuild.
+        let mut parents: Vec<u32> = Vec::with_capacity(pre.parent_txids.len());
+        for ptxid in &pre.parent_txids {
+            if let Some(&p) = self.lookup.get(ptxid) {
+                parents.push(p);
             }
         }
         let ancestors: Vec<u32> = if parents.is_empty() {
@@ -304,7 +344,10 @@ impl Mempool {
                 return Err(AcceptError::TooManyAncestors);
             }
             for &ancestor in &ancestors {
-                if self.descendants_h(ancestor).len() + 1 >= self.policy.max_descendants {
+                // O(1) via the maintained descendant-package cardinality:
+                // desc_count counts the ancestor plus its descendants, the
+                // same quantity the closure walk here used to recount.
+                if self.slot(ancestor).desc_count as usize >= self.policy.max_descendants {
                     return Err(AcceptError::TooManyDescendants);
                 }
             }
@@ -312,18 +355,12 @@ impl Mempool {
 
         let sequence = self.next_sequence;
         self.next_sequence += 1;
-        for input in tx.inputs() {
-            self.spent.insert(input.prevout, txid);
-        }
         let has_parent = !parents.is_empty();
-        let vsize = tx.vsize();
-        let weight = tx.weight();
+        let vsize = pre.vsize;
         self.total_vsize += vsize;
-        self.by_rate.insert((rate, Reverse(sequence), txid));
-        *self.weights.entry(weight).or_insert(0) += 1;
 
         let mut entry = MempoolEntry::new(tx, fee, now, sequence);
-        entry.parents = parents.clone();
+        entry.parents = parents;
         let h = match self.free.pop() {
             Some(h) => {
                 self.slots[h as usize] = Some(entry);
@@ -335,7 +372,11 @@ impl Mempool {
             }
         };
         self.lookup.insert(txid, h);
-        for &p in &parents {
+        for input in self.slots[h as usize].as_ref().expect("just interned").tx().inputs() {
+            self.spent.insert(input.prevout, h);
+        }
+        for i in 0..self.slot(h).parents.len() {
+            let p = self.slot(h).parents[i];
             self.slot_mut(p).children.push(h);
         }
         // P2P paths can deliver a child before its parent; if any resident
@@ -344,8 +385,7 @@ impl Mempool {
         let mut reconnected = false;
         let out_count = self.slot(h).tx().outputs().len() as u32;
         for vout in 0..out_count {
-            let Some(&child_txid) = self.spent.get(&OutPoint::new(txid, vout)) else { continue };
-            let c = self.handle(&child_txid).expect("spenders are resident");
+            let Some(&c) = self.spent.get(&OutPoint::new(txid, vout)) else { continue };
             if !self.slot(h).children.contains(&c) {
                 self.slot_mut(h).children.push(c);
             }
@@ -380,9 +420,9 @@ impl Mempool {
                 anc_fee += e.fee().to_sat();
                 anc_vsize += e.vsize();
             }
-            self.set_anc_score(h, anc_fee, anc_vsize);
+            self.insert_anc_score(h, anc_fee, anc_vsize);
             for &a in &ancestors {
-                self.shift_desc_score(a, fee_sat as i128, vsize as i128);
+                self.shift_desc_score(a, fee_sat as i128, vsize as i128, 1);
             }
         }
         Ok(txid)
@@ -391,6 +431,7 @@ impl Mempool {
     /// The ancestor-score index key currently stored for the entry at `h`.
     fn anc_key(entry: &MempoolEntry, h: u32) -> AncKey {
         AncKey {
+            approx: AncKey::approx_rate(entry.anc_fee, entry.anc_vsize),
             fee: entry.anc_fee,
             vsize: entry.anc_vsize,
             seq: entry.sequence(),
@@ -414,20 +455,33 @@ impl Mempool {
         self.anc_index.insert(new);
     }
 
+    /// Insertion-only [`Mempool::set_anc_score`] for an entry that was
+    /// never indexed: skips the old-key removal probe, which is a full
+    /// tree descent for a key that cannot be present. Admission is the
+    /// hottest caller and always inserts fresh entries, so the saved
+    /// probe is once per accepted transaction per node.
+    fn insert_anc_score(&mut self, h: u32, fee_sat: u64, vsize: u64) {
+        let Some(entry) = self.slots[h as usize].as_mut() else { return };
+        entry.anc_fee = fee_sat;
+        entry.anc_vsize = vsize;
+        self.anc_index.insert(Self::anc_key(entry, h));
+    }
+
     /// The descendant-package index key currently stored for `txid`.
     fn desc_key(entry: &MempoolEntry, txid: Txid) -> (FeeRate, Txid) {
         (FeeRate::from_fee_and_vsize(Amount::from_sat(entry.desc_fee), entry.desc_vsize), txid)
     }
 
-    /// Applies a delta to the descendant-package totals at `h`, re-keying
-    /// the eviction index.
-    fn shift_desc_score(&mut self, h: u32, dfee: i128, dvsize: i128) {
+    /// Applies a delta to the descendant-package totals (and cardinality)
+    /// at `h`, re-keying the eviction index.
+    fn shift_desc_score(&mut self, h: u32, dfee: i128, dvsize: i128, dcount: i64) {
         let index_active = self.index_active;
         let Some(entry) = self.slots[h as usize].as_mut() else { return };
         let txid = entry.txid();
         let old_key = Self::desc_key(entry, txid);
         entry.desc_fee = (entry.desc_fee as i128 + dfee).max(0) as u64;
         entry.desc_vsize = (entry.desc_vsize as i128 + dvsize).max(0) as u64;
+        entry.desc_count = (entry.desc_count as i64 + dcount).max(0) as u32;
         let new_key = Self::desc_key(entry, txid);
         if index_active && new_key != old_key {
             self.by_desc_rate.remove(&old_key);
@@ -438,13 +492,14 @@ impl Mempool {
     /// Recomputes the descendant-package totals at `h` from the graph and
     /// re-keys the eviction index.
     fn recompute_desc_score(&mut self, h: u32) {
-        let (fee, vsize) = self.compute_descendant_package_h(h);
+        let (fee, vsize, count) = self.compute_descendant_package_counted_h(h);
         let index_active = self.index_active;
         let Some(entry) = self.slots[h as usize].as_mut() else { return };
         let txid = entry.txid();
         let old_key = Self::desc_key(entry, txid);
         entry.desc_fee = fee.to_sat();
         entry.desc_vsize = vsize;
+        entry.desc_count = count;
         let new_key = Self::desc_key(entry, txid);
         if index_active && new_key != old_key {
             self.by_desc_rate.remove(&old_key);
@@ -490,15 +545,7 @@ impl Mempool {
         let txid = entry.txid();
         self.lookup.remove(&txid);
         self.free.push(h);
-        self.by_rate.remove(&(entry.fee_rate(), Reverse(entry.sequence()), txid));
         self.anc_index.remove(&Self::anc_key(&entry, h));
-        let weight = entry.tx().weight();
-        if let Some(count) = self.weights.get_mut(&weight) {
-            *count -= 1;
-            if *count == 0 {
-                self.weights.remove(&weight);
-            }
-        }
         if self.index_active {
             self.by_desc_rate.remove(&Self::desc_key(&entry, txid));
             self.rows.remove(&txid);
@@ -533,41 +580,6 @@ impl Mempool {
         Some(entry)
     }
 
-    /// Removes a transaction confirmed by a block. Valid blocks confirm
-    /// parents before children, so the entry normally has no in-pool
-    /// ancestors left; its descendants each lose exactly this transaction
-    /// from their ancestor package. A defensive fallback recomputes the
-    /// neighbourhood if the topological precondition ever fails.
-    fn remove_confirmed(&mut self, txid: &Txid) -> Option<MempoolEntry> {
-        let h = self.handle(txid)?;
-        let entry = self.slot(h);
-        let fee = entry.fee().to_sat();
-        let vsize = entry.vsize();
-        let has_ancestor = !entry.parents.is_empty();
-        if !has_ancestor {
-            for d in self.descendants_h(h) {
-                let (f, v) = {
-                    let e = self.slot(d);
-                    (e.anc_fee.saturating_sub(fee), e.anc_vsize.saturating_sub(vsize))
-                };
-                self.set_anc_score(d, f, v);
-            }
-            self.remove_single_h(h)
-        } else {
-            let ancestors = self.ancestors_h(h);
-            let descendants = self.descendants_h(h);
-            let removed = self.remove_single_h(h);
-            for d in descendants {
-                let (fee, vsize) = self.compute_ancestor_package_h(d);
-                self.set_anc_score(d, fee.to_sat(), vsize);
-            }
-            for a in ancestors {
-                self.recompute_desc_score(a);
-            }
-            removed
-        }
-    }
-
     /// Removes `txid` and every in-pool descendant (used when a transaction
     /// is evicted or conflicted away — its children can no longer be mined).
     pub fn remove_with_descendants(&mut self, txid: &Txid) -> Vec<MempoolEntry> {
@@ -586,7 +598,7 @@ impl Mempool {
             };
             for a in self.ancestors_h(r) {
                 if !order.contains(&a) {
-                    self.shift_desc_score(a, -(fee as i128), -(vsize as i128));
+                    self.shift_desc_score(a, -(fee as i128), -(vsize as i128), -1);
                 }
             }
         }
@@ -602,20 +614,63 @@ impl Mempool {
     /// Connects a block: removes confirmed transactions and evicts any pool
     /// transaction (plus descendants) that conflicts with a confirmed spend.
     /// Returns `(confirmed_count, conflicted_count)`.
+    ///
+    /// Batched: the whole resident confirmed set leaves first, then each
+    /// surviving neighbour is rescored exactly once — when a CPFP package
+    /// confirms together, the per-member interleaved removal used to rescore
+    /// the same survivors once per confirmed member. A valid block cannot
+    /// confirm a descendant of a transaction it conflicts out (the
+    /// descendant's input would be unspendable), so deferring the conflict
+    /// scan behind the batched confirm leaves the final pool state — and
+    /// both counts — exactly what the interleaved order produced.
     pub fn apply_block(&mut self, block: &Block) -> (usize, usize) {
-        let mut confirmed = 0;
+        let confirmed_h: Vec<u32> =
+            block.body().iter().filter_map(|tx| self.handle(&tx.txid())).collect();
+        let confirmed = confirmed_h.len();
+        if confirmed > 0 {
+            // Survivors below a confirmed member lose it from their ancestor
+            // package; survivors above one (only on out-of-order arrivals —
+            // valid blocks confirm parents first) shed it from their
+            // descendant package.
+            let mut touched_down: Vec<u32> = Vec::new();
+            let mut touched_up: Vec<u32> = Vec::new();
+            for &h in &confirmed_h {
+                touched_down.extend(self.descendants_h(h));
+                if !self.slot(h).parents.is_empty() {
+                    touched_up.extend(self.ancestors_h(h));
+                }
+            }
+            for &h in &confirmed_h {
+                self.remove_single_h(h);
+            }
+            // No admissions happen mid-connect, so freed slots stay empty:
+            // a dead handle here is a confirmed member, not a recycled slot.
+            touched_down.sort_unstable();
+            touched_down.dedup();
+            for d in touched_down {
+                if self.slots[d as usize].is_some() {
+                    let (fee, vsize) = self.compute_ancestor_package_h(d);
+                    self.set_anc_score(d, fee.to_sat(), vsize);
+                }
+            }
+            touched_up.sort_unstable();
+            touched_up.dedup();
+            for a in touched_up {
+                if self.slots[a as usize].is_some() {
+                    self.recompute_desc_score(a);
+                }
+            }
+        }
+        // A confirmed spend of an outpoint invalidates any other pool
+        // transaction spending it.
         let mut conflicted = 0;
         for tx in block.body() {
             let txid = tx.txid();
-            if self.remove_confirmed(&txid).is_some() {
-                confirmed += 1;
-            }
-            // A confirmed spend of an outpoint invalidates any other pool
-            // transaction spending it.
             for input in tx.inputs() {
                 if let Some(&rival) = self.spent.get(&input.prevout) {
-                    if rival != txid {
-                        conflicted += self.remove_with_descendants(&rival).len();
+                    let rival_txid = self.slot(rival).txid();
+                    if rival_txid != txid {
+                        conflicted += self.remove_with_descendants(&rival_txid).len();
                     }
                 }
             }
@@ -682,7 +737,7 @@ impl Mempool {
 
     /// The in-pool transaction currently spending `outpoint`, if any.
     pub fn spender_of(&self, outpoint: &OutPoint) -> Option<Txid> {
-        self.spent.get(outpoint).copied()
+        self.spent.get(outpoint).map(|&h| self.slot(h).txid())
     }
 
     /// The *descendant package score* of `txid`: total fee and vsize of
@@ -693,18 +748,20 @@ impl Mempool {
         self.get(txid).map(|e| e.descendant_score())
     }
 
-    /// Walk-based descendant-package score, for rescoring fallbacks and
-    /// index-consistency checks.
-    fn compute_descendant_package_h(&self, h: u32) -> (Amount, u64) {
+    /// Walk-based descendant-package score and cardinality, for rescoring
+    /// fallbacks and index-consistency checks.
+    fn compute_descendant_package_counted_h(&self, h: u32) -> (Amount, u64, u32) {
         let entry = self.slot(h);
         let mut fee = entry.fee();
         let mut vsize = entry.vsize();
+        let mut count: u32 = 1;
         for d in self.descendants_h(h) {
             let e = self.slot(d);
             fee += e.fee();
             vsize += e.vsize();
+            count += 1;
         }
-        (fee, vsize)
+        (fee, vsize, count)
     }
 
     /// Evicts lowest-value packages until the pool fits in `max_vsize`
@@ -790,11 +847,30 @@ impl Mempool {
     }
 
     /// Iterates entries from highest to lowest fee rate (FIFO within ties).
+    ///
+    /// Sorts on demand: the pool no longer maintains a fee-rate index on
+    /// the admission path, because the only hot consumer of rate order is
+    /// the *top* rate ([`Mempool::top_fee_rate`]) and everything else
+    /// (snapshot reports, benches, tests) tolerates an O(n log n) sort at
+    /// call time. The order is the old maintained-index order exactly:
+    /// rate descending, FIFO (arrival sequence) within equal rates.
     pub fn iter_by_fee_rate_desc(&self) -> impl Iterator<Item = &MempoolEntry> + '_ {
-        self.by_rate
+        let mut keys: Vec<RateKey> = self
+            .slots
             .iter()
-            .rev()
-            .map(move |(_, _, txid)| self.get(txid).expect("index consistent"))
+            .enumerate()
+            .filter_map(|(h, s)| {
+                s.as_ref().map(|e| (e.fee_rate(), Reverse(e.sequence()), h as u32))
+            })
+            .collect();
+        keys.sort_unstable_by(|a, b| b.cmp(a));
+        keys.into_iter().map(move |(_, _, h)| self.slot(h))
+    }
+
+    /// The highest resident fee rate — the acceleration quote anchor.
+    /// One dense scan; called per quote, not per admission.
+    pub fn top_fee_rate(&self) -> Option<FeeRate> {
+        self.slots.iter().flatten().map(|e| e.fee_rate()).max()
     }
 
     /// Iterates all entries in slab order (deterministic, not sorted).
@@ -877,7 +953,8 @@ mod tests {
     }
 
     /// The ancestor-score index must always hold exactly one key per
-    /// resident, at the entry's current (anc_fee, anc_vsize, seq).
+    /// resident, at the entry's current (anc_fee, anc_vsize, seq), and the
+    /// cached descendant-package cardinality must match the graph.
     fn assert_anc_index_consistent(p: &Mempool) {
         assert_eq!(p.anc_index.len(), p.len(), "one key per resident");
         for key in &p.anc_index {
@@ -886,6 +963,11 @@ mod tests {
             assert_eq!(key.seq, e.sequence());
             let (fee, vsize) = p.compute_ancestor_package_h(key.handle.0);
             assert_eq!((key.fee, key.vsize), (fee.to_sat(), vsize), "key matches the graph");
+            assert_eq!(
+                e.descendant_count() as usize,
+                p.descendants_h(key.handle.0).len() + 1,
+                "desc_count matches the graph"
+            );
         }
     }
 
@@ -1187,6 +1269,85 @@ mod tests {
         let b_id = p.add(b, Amount::from_sat(2_000), 1).expect("ok");
         assert_eq!(p.handle_of(&b_id).expect("live").index(), slot_a, "slot reused");
         assert_eq!(p.slot_count(), 1);
+        assert_anc_index_consistent(&p);
+    }
+
+    #[test]
+    fn desc_count_tracks_adds_removes_and_reconnect() {
+        let mut p = Mempool::new(MempoolPolicy::accept_all());
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        let grandchild = child_of(&child, 30_000);
+        // Out-of-order arrival: child first, then parent (reconnect path),
+        // then grandchild (incremental path).
+        p.add(child.clone(), Amount::from_sat(4_000), 0).expect("ok");
+        p.add(parent.clone(), Amount::from_sat(300), 1).expect("ok");
+        p.add(grandchild.clone(), Amount::from_sat(900), 2).expect("ok");
+        assert_eq!(p.get(&parent.txid()).expect("resident").descendant_count(), 3);
+        assert_eq!(p.get(&child.txid()).expect("resident").descendant_count(), 2);
+        assert_eq!(p.get(&grandchild.txid()).expect("resident").descendant_count(), 1);
+        assert_anc_index_consistent(&p);
+        // Subtree eviction sheds the removed members from survivors.
+        p.remove_with_descendants(&child.txid());
+        assert_eq!(p.get(&parent.txid()).expect("resident").descendant_count(), 1);
+        assert_anc_index_consistent(&p);
+    }
+
+    #[test]
+    fn add_prechecked_matches_add_shared() {
+        // The same package admitted through both entry points must land in
+        // identical pool state, including refusals.
+        let mut via_shared = pool();
+        let mut via_pre = pool();
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        let dup = parent.clone();
+        for tx in [parent, child, dup] {
+            let fee = Amount::from_sat(tx.vsize() * 3);
+            let shared: Arc<Transaction> = tx.into();
+            let pre = AdmissionPrecheck::of(&shared, fee);
+            let a = via_shared.add_shared(Arc::clone(&shared), fee, 7);
+            let b = via_pre.add_prechecked(shared, fee, 7, &pre);
+            assert_eq!(a, b);
+        }
+        assert_eq!(via_shared.len(), via_pre.len());
+        let order_a: Vec<Txid> = via_shared.iter_by_fee_rate_desc().map(|e| e.txid()).collect();
+        let order_b: Vec<Txid> = via_pre.iter_by_fee_rate_desc().map(|e| e.txid()).collect();
+        assert_eq!(order_a, order_b);
+        assert_anc_index_consistent(&via_pre);
+    }
+
+    #[test]
+    fn apply_block_batched_confirm_of_cpfp_package() {
+        // A whole parent/child package confirms in one block while an
+        // unrelated CPFP pair survives — survivor scores must match the
+        // graph after the batched connect.
+        let mut p = Mempool::new(MempoolPolicy::accept_all());
+        let parent = tx_with(1, 0, 50_000);
+        let child = child_of(&parent, 40_000);
+        let other = tx_with(2, 0, 50_000);
+        let other_child = child_of(&other, 40_000);
+        p.add(parent.clone(), Amount::from_sat(100), 0).expect("ok");
+        p.add(child.clone(), Amount::from_sat(9_000), 1).expect("ok");
+        p.add(other.clone(), Amount::from_sat(200), 2).expect("ok");
+        p.add(other_child.clone(), Amount::from_sat(7_000), 3).expect("ok");
+        let cb = cn_chain::CoinbaseBuilder::new(1)
+            .reward(Address::from_label("pool"), Amount::from_btc(6))
+            .build();
+        let block = cn_chain::Block::assemble(
+            1,
+            cn_chain::BlockHash::ZERO,
+            0,
+            0,
+            cb,
+            vec![parent.clone(), child.clone()],
+        );
+        let (confirmed_n, conflicted_n) = p.apply_block(&block);
+        assert_eq!((confirmed_n, conflicted_n), (2, 0));
+        assert_eq!(p.len(), 2);
+        let (fee, _) = p.ancestor_package(&other_child.txid()).expect("resident");
+        assert_eq!(fee, Amount::from_sat(7_200));
+        assert_eq!(p.get(&other.txid()).expect("resident").descendant_count(), 2);
         assert_anc_index_consistent(&p);
     }
 

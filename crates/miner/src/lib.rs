@@ -34,4 +34,4 @@ pub use policy::{
     NormPolicy, Priority, TxContext,
 };
 pub use pool::MiningPool;
-pub use template::{BlockAssembler, BlockTemplate};
+pub use template::{AssemblyStats, BlockAssembler, BlockTemplate};

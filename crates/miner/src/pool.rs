@@ -2,7 +2,7 @@
 
 use crate::acceleration::AccelerationService;
 use crate::policy::{MinerPolicy, NormPolicy, TxContext};
-use crate::template::{BlockAssembler, BlockTemplate};
+use crate::template::{AssemblyStats, BlockAssembler, BlockTemplate};
 use cn_chain::{
     Address, Block, BlockHash, CoinbaseBuilder, OutPoint, Params, PoolMarker, Timestamp,
 };
@@ -107,10 +107,10 @@ impl MiningPool {
         self.blocks_mined
     }
 
-    /// Template-assembly path counters for this pool:
-    /// `(incremental_hits, full_rebuilds)`. Zero before the first build.
-    pub fn assembly_stats(&self) -> (u64, u64) {
-        self.assembler.as_ref().map_or((0, 0), BlockAssembler::stats)
+    /// Template-assembly path counters for this pool, including the
+    /// rebuild-reason breakdown. All zero before the first build.
+    pub fn assembly_stats(&self) -> AssemblyStats {
+        self.assembler.as_ref().map_or_else(AssemblyStats::default, BlockAssembler::stats)
     }
 
     /// Produces a full block on top of `prev`, at `height` and `time`,

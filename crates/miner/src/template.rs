@@ -128,6 +128,25 @@ impl PartialEq for CursorItem {
 
 impl Eq for CursorItem {}
 
+/// Lifetime assembly-path counters for one assembler: which selection
+/// path each template took, and — for full rebuilds — which deviation
+/// classes forced it off the incremental path. One rebuild can count
+/// under several reasons (a priority map may carry Accelerate and
+/// Exclude entries at once).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AssemblyStats {
+    /// Templates built on the incremental all-Normal fast path.
+    pub incremental_hits: u64,
+    /// Templates that needed the full classify-and-rebuild path.
+    pub full_rebuilds: u64,
+    /// Full rebuilds whose priority map carried ≥1 Accelerate entry.
+    pub rebuilds_with_accelerate: u64,
+    /// Full rebuilds whose priority map carried ≥1 Decelerate entry.
+    pub rebuilds_with_decelerate: u64,
+    /// Full rebuilds whose priority map carried ≥1 Exclude entry.
+    pub rebuilds_with_exclude: u64,
+}
+
 /// A `GetBlockTemplate`-style assembler.
 ///
 /// ```
@@ -152,25 +171,21 @@ impl Eq for CursorItem {}
 #[derive(Clone, Debug)]
 pub struct BlockAssembler {
     params: Params,
-    /// Templates built on the incremental all-Normal fast path (cursor
-    /// over the mempool's persistent ancestor-score index).
-    incremental_hits: u64,
-    /// Templates that required the full classify-and-select rebuild
-    /// (at least one transaction carried a non-Normal priority).
-    full_rebuilds: u64,
+    /// Which selection path each template took, with rebuild reasons.
+    stats: AssemblyStats,
 }
 
 impl BlockAssembler {
     /// Creates an assembler for the given chain parameters.
     pub fn new(params: Params) -> BlockAssembler {
-        BlockAssembler { params, incremental_hits: 0, full_rebuilds: 0 }
+        BlockAssembler { params, stats: AssemblyStats::default() }
     }
 
-    /// Lifetime counters: `(incremental_hits, full_rebuilds)` — how many
-    /// templates this assembler built on the incremental fast path vs the
-    /// full rebuild path.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.incremental_hits, self.full_rebuilds)
+    /// Lifetime path counters — how many templates this assembler built
+    /// on the incremental fast path vs the full rebuild path, and what
+    /// forced each rebuild.
+    pub fn stats(&self) -> AssemblyStats {
+        self.stats
     }
 
     /// The body weight budget (block limit minus coinbase reservation).
@@ -217,11 +232,25 @@ impl BlockAssembler {
     ) -> BlockTemplate {
         let budget = self.weight_budget();
         if priorities.is_empty() {
-            self.incremental_hits += 1;
+            self.stats.incremental_hits += 1;
             let selected = self.select_norm_cursor(mempool, budget);
             return self.order_and_finish(mempool, priorities, selected);
         }
-        self.full_rebuilds += 1;
+        self.stats.full_rebuilds += 1;
+        // Which deviation classes forced this rebuild (post-propagation,
+        // so an accelerated child's dragged-up ancestors count too).
+        let (mut acc, mut dec, mut exc) = (false, false, false);
+        for p in priorities.values() {
+            match p {
+                Priority::Accelerate => acc = true,
+                Priority::Decelerate => dec = true,
+                Priority::Exclude => exc = true,
+                Priority::Normal => {}
+            }
+        }
+        self.stats.rebuilds_with_accelerate += u64::from(acc);
+        self.stats.rebuilds_with_decelerate += u64::from(dec);
+        self.stats.rebuilds_with_exclude += u64::from(exc);
         let mut selected: Vec<Txid> = Vec::new();
         let mut selected_set: FastSet<Txid> = FastSet::default();
         let mut used_weight = 0u64;
@@ -240,6 +269,56 @@ impl BlockAssembler {
             // and turns the common norm-following pool into a single-phase
             // pass.
             if phase != Priority::Normal && !priorities.values().any(|p| *p == phase) {
+                continue;
+            }
+            // Accelerate-only rebuild whose accelerate phase committed every
+            // classified transaction (the common shape: a dark-fee pool with
+            // a handful of live accelerations — on dataset 𝒞 this is all 42
+            // rebuilds). The Normal phase then has no blockers (a blocker is
+            // an *unselected* disallowed transaction) and no classified
+            // candidates, so it degenerates to norm selection over the
+            // leftover pool: run it on the persistent-index cursor seeded
+            // with the accelerate phase's selections instead of heapifying
+            // every resident.
+            if phase == Priority::Normal
+                && acc
+                && !dec
+                && !exc
+                && priorities.keys().all(|t| selected_set.contains(t))
+            {
+                let slots = mempool.slot_count();
+                let mut sel = vec![false; slots];
+                for t in selected.iter() {
+                    if let Some(h) = mempool.handle_of(t) {
+                        sel[h.index()] = true;
+                    }
+                }
+                let mut dense_rem: Vec<Option<(u64, u64)>> = vec![None; slots];
+                let mut modified: BinaryHeap<CursorItem> = BinaryHeap::new();
+                for (t, &(fee, vsize)) in &rem {
+                    let Some(h) = mempool.handle_of(t) else { continue };
+                    if sel[h.index()] {
+                        continue;
+                    }
+                    dense_rem[h.index()] = Some((fee, vsize));
+                    modified.push(CursorItem {
+                        score: PackageScore { fee, vsize, seq: mempool.entry_at(h).sequence() },
+                        txid: *t,
+                        handle: h,
+                    });
+                }
+                self.select_norm_cursor_from(
+                    mempool,
+                    budget,
+                    used_weight,
+                    &mut selected,
+                    sel,
+                    dense_rem,
+                    modified,
+                );
+                // No Decelerate or Exclude entries exist, so no later phase
+                // reads `selected_set`/`rem`/`used_weight`; leaving them at
+                // their accelerate-phase state is fine.
                 continue;
             }
             self.select_phase_indexed(
@@ -275,17 +354,45 @@ impl BlockAssembler {
     fn select_norm_cursor(&self, mempool: &Mempool, budget: u64) -> Vec<Txid> {
         let slots = mempool.slot_count();
         let mut selected: Vec<Txid> = Vec::new();
-        let mut sel = vec![false; slots];
-        // Dense overlay of remaining package scores; `None` means the
-        // pool's cached ancestor totals are still authoritative.
-        let mut rem: Vec<Option<(u64, u64)>> = vec![None; slots];
-        let mut used = 0u64;
+        self.select_norm_cursor_from(
+            mempool,
+            budget,
+            0,
+            &mut selected,
+            vec![false; slots],
+            vec![None; slots],
+            BinaryHeap::new(),
+        );
+        selected
+    }
+
+    /// The cursor walk behind [`BlockAssembler::select_norm_cursor`],
+    /// generalized to *continue from a prior phase's selections*: `sel`,
+    /// `rem`, and `modified` seed the walk with what that phase already
+    /// committed (selected handles, deviated remaining-package scores, and
+    /// one re-scored heap copy per deviated entry). With empty seeds this
+    /// is exactly the block-start cursor. The staleness argument is
+    /// unchanged — a cursor copy keyed before the seed phase pops, fails
+    /// the score check, and requeues at its true score, while every
+    /// *improved* score is already present in `modified` — so the pop
+    /// sequence matches the heap-everything phase selector pop for pop.
+    #[allow(clippy::too_many_arguments)]
+    fn select_norm_cursor_from(
+        &self,
+        mempool: &Mempool,
+        budget: u64,
+        mut used: u64,
+        selected: &mut Vec<Txid>,
+        mut sel: Vec<bool>,
+        mut rem: Vec<Option<(u64, u64)>>,
+        mut modified: BinaryHeap<CursorItem>,
+    ) {
         // Any package weighs at least the lightest resident transaction;
         // once that cannot fit, nothing can. Same early exit as the phase
-        // selector, with the minimum maintained by the pool instead of
-        // scanned per block.
+        // selector, with the minimum scanned once per template instead of
+        // maintained across every admission.
         let Some(min_weight) = mempool.min_tx_weight() else {
-            return selected;
+            return;
         };
         let score_at = |rem: &[Option<(u64, u64)>], h: TxHandle| -> PackageScore {
             let e = mempool.entry_at(h);
@@ -296,7 +403,6 @@ impl BlockAssembler {
             PackageScore { fee, vsize, seq: e.sequence() }
         };
         let mut cursor = mempool.anc_score_iter().rev().peekable();
-        let mut modified: BinaryHeap<CursorItem> = BinaryHeap::new();
         loop {
             if budget - used < min_weight {
                 break; // no remaining package can fit
@@ -383,7 +489,6 @@ impl BlockAssembler {
                 });
             }
         }
-        selected
     }
 
     /// Walk-based reference assembler: recomputes every package score from

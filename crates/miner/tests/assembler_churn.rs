@@ -17,7 +17,7 @@ use cn_chain::{
     Transaction, Txid,
 };
 use cn_mempool::{Mempool, MempoolPolicy};
-use cn_miner::{BlockAssembler, Priority};
+use cn_miner::{AssemblyStats, BlockAssembler, Priority};
 use cn_net::FaultPlan;
 use cn_stats::SimRng;
 use std::sync::Arc;
@@ -185,7 +185,13 @@ fn assert_identical(fast: &cn_miner::BlockTemplate, reference: &cn_miner::BlockT
 /// Runs `rounds` churn rounds; after each, assembles with the incremental
 /// path under `classify`, checks identity, connects the block, and checks
 /// identity again against the post-connect pool.
-fn run_churn<F>(seed: u64, intensity: f64, rounds: usize, params: Params, classify: F) -> (u64, u64)
+fn run_churn<F>(
+    seed: u64,
+    intensity: f64,
+    rounds: usize,
+    params: Params,
+    classify: F,
+) -> AssemblyStats
 where
     F: Fn(&Txid) -> Priority,
 {
@@ -232,11 +238,39 @@ fn churn_norm_assembler_matches_reference_every_block() {
     params.max_block_weight = 150_000;
     let mut hits = 0;
     for (seed, intensity) in [(1u64, 0.0), (2, 0.35), (3, 0.85)] {
-        let (h, rebuilds) = run_churn(seed, intensity, 8, params.clone(), |_| Priority::Normal);
-        assert_eq!(rebuilds, 0, "all-Normal churn must never force a full rebuild");
-        hits += h;
+        let stats = run_churn(seed, intensity, 8, params.clone(), |_| Priority::Normal);
+        assert_eq!(stats.full_rebuilds, 0, "all-Normal churn must never force a full rebuild");
+        hits += stats.incremental_hits;
     }
     assert!(hits > 0, "incremental path never engaged");
+}
+
+#[test]
+fn churn_accelerate_only_matches_reference_every_block() {
+    // Accelerate-only classification (~20% of txids, no decelerate or
+    // exclude): every rebuild whose accelerate phase commits all of its
+    // classified transactions rides the seeded-cursor Normal phase — the
+    // fast path dark-fee pools hit block after block. Identity against the
+    // reference walk must hold across the same churn as the mixed test.
+    let mut params = Params::mainnet();
+    params.max_block_weight = 150_000;
+    let mut rebuilds = 0;
+    for (seed, intensity) in [(21u64, 0.0), (22, 0.4), (23, 0.85)] {
+        let stats = run_churn(seed, intensity, 8, params.clone(), |txid| {
+            match txid.0.as_bytes()[0] % 5 {
+                0 => Priority::Accelerate,
+                _ => Priority::Normal,
+            }
+        });
+        assert_eq!(
+            stats.rebuilds_with_accelerate, stats.full_rebuilds,
+            "accelerate-only churn: every rebuild must be acceleration-driven"
+        );
+        assert_eq!(stats.rebuilds_with_decelerate, 0);
+        assert_eq!(stats.rebuilds_with_exclude, 0);
+        rebuilds += stats.full_rebuilds;
+    }
+    assert!(rebuilds > 0, "accelerate-only churn never exercised the full path");
 }
 
 #[test]
@@ -247,8 +281,26 @@ fn churn_classified_assembler_matches_reference_every_block() {
     params.max_block_weight = 150_000;
     let mut rebuilds = 0;
     for (seed, intensity) in [(11u64, 0.15), (12, 0.6), (13, 0.85)] {
-        let (_, r) = run_churn(seed, intensity, 8, params.clone(), classify_by_txid);
-        rebuilds += r;
+        let stats = run_churn(seed, intensity, 8, params.clone(), classify_by_txid);
+        // Every rebuild reason is bounded by the rebuild count, and a
+        // rebuild must have at least one reason recorded.
+        for reason in [
+            stats.rebuilds_with_accelerate,
+            stats.rebuilds_with_decelerate,
+            stats.rebuilds_with_exclude,
+        ] {
+            assert!(reason <= stats.full_rebuilds, "reason count exceeds rebuilds");
+        }
+        if stats.full_rebuilds > 0 {
+            assert!(
+                stats.rebuilds_with_accelerate
+                    + stats.rebuilds_with_decelerate
+                    + stats.rebuilds_with_exclude
+                    > 0,
+                "rebuilds recorded without any reason"
+            );
+        }
+        rebuilds += stats.full_rebuilds;
     }
     assert!(rebuilds > 0, "classified churn never exercised the full path");
 }

@@ -3,7 +3,8 @@
 use crate::latency::LatencyModel;
 use crate::topology::Topology;
 use cn_chain::{Amount, Block, Timestamp, Transaction, Txid};
-use cn_mempool::{AcceptError, Mempool, MempoolPolicy};
+use cn_mempool::{AcceptError, AdmissionPrecheck, Mempool, MempoolPolicy};
+use cn_stats::Pool;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::{Arc, OnceLock};
@@ -24,12 +25,28 @@ pub struct RelayPayload {
     pub tx: Arc<Transaction>,
     /// The public fee the broadcast offers.
     pub fee: Amount,
+    /// Node-independent admission prefix, computed lazily on the first
+    /// delivery and shared by every subsequent one — once per transaction
+    /// instead of once per (tx, node).
+    precheck: OnceLock<AdmissionPrecheck>,
 }
 
 impl RelayPayload {
     /// Wraps a transaction and its fee for relay.
     pub fn new(tx: Arc<Transaction>, fee: Amount) -> RelayPayload {
-        RelayPayload { txid: tx.txid(), tx, fee }
+        RelayPayload { txid: tx.txid(), tx, fee, precheck: OnceLock::new() }
+    }
+
+    /// The shared admission precheck, computed on first use and memoized
+    /// for the rest of the fan-out.
+    pub fn precheck(&self) -> &AdmissionPrecheck {
+        self.precheck.get_or_init(|| AdmissionPrecheck::of(&self.tx, self.fee))
+    }
+
+    /// True when the precheck memo is already populated — a later delivery
+    /// reusing the first one's work.
+    pub fn precheck_cached(&self) -> bool {
+        self.precheck.get().is_some()
     }
 }
 
@@ -233,6 +250,9 @@ impl Network {
         let mut arrivals = std::mem::take(&mut self.arrival_scratch);
         arrivals.clear();
         arrivals.extend_from_slice(self.propagation_from(origin));
+        // The admission prefix is node-independent: compute it once for the
+        // whole stakeholder fan-out.
+        let pre = AdmissionPrecheck::of(&tx, fee);
         let mut results = Vec::with_capacity(self.stakeholder_order.len());
         for i in 0..self.stakeholder_order.len() {
             let node = self.stakeholder_order[i]; // sorted: deterministic admission order
@@ -241,7 +261,7 @@ impl Network {
                 .mempools
                 .get_mut(&node)
                 .expect("stakeholder has a mempool")
-                .add_shared(Arc::clone(&tx), fee, arrival)
+                .add_prechecked(Arc::clone(&tx), fee, arrival, &pre)
                 .map(|_| ());
             results.push((node, arrival, outcome));
         }
@@ -259,6 +279,27 @@ impl Network {
         for mempool in self.mempools.values_mut() {
             mempool.apply_block(block);
         }
+    }
+
+    /// Like [`Network::apply_block`], but fans the per-node connects across
+    /// `pool`'s workers. Every stakeholder view connects the same block
+    /// independently (no shared state, no RNG), so the fan-out is
+    /// byte-identical to the serial loop at any worker count.
+    pub fn apply_block_parallel(&mut self, block: &Block, pool: &Pool) {
+        if pool.workers() <= 1 || self.mempools.len() <= 1 {
+            self.apply_block(block);
+            return;
+        }
+        let mut views: Vec<&mut Mempool> = self.mempools.values_mut().collect();
+        pool.for_each_mut(&mut views, |mempool| {
+            mempool.apply_block(block);
+        });
+    }
+
+    /// Disjoint mutable Mempool views for every stakeholder, for batched
+    /// admission fan-outs that partition work by receiving node.
+    pub fn mempools_iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut Mempool)> + '_ {
+        self.mempools.iter_mut().map(|(&node, mempool)| (node, mempool))
     }
 }
 

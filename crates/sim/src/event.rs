@@ -99,6 +99,12 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|s| s.due)
     }
 
+    /// The next event's due time and payload without popping it — what a
+    /// batch drain inspects to decide whether the run continues.
+    pub fn peek(&self) -> Option<(SimMillis, &E)> {
+        self.heap.peek().map(|s| (s.due, &s.payload))
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -242,6 +248,14 @@ impl<E> Bucket<E> {
             Bucket::Dense(heap) => heap.peek().map(|s| s.due),
         }
     }
+
+    fn peek(&mut self) -> Option<(SimMillis, &E)> {
+        self.make_ready();
+        match self {
+            Bucket::Small { items, .. } => items.last().map(|s| (s.due, &s.payload)),
+            Bucket::Dense(heap) => heap.peek().map(|s| (s.due, &s.payload)),
+        }
+    }
 }
 
 /// A two-level calendar queue with the same contract as [`EventQueue`].
@@ -379,6 +393,16 @@ impl<E> BucketQueue<E> {
         self.advance_to_nonempty();
         self.near[(self.cur as usize) & (NEAR_BUCKETS - 1)].peek_due()
     }
+
+    /// The next event's due time and payload without popping it — what a
+    /// batch drain inspects to decide whether the run continues.
+    pub fn peek(&mut self) -> Option<(SimMillis, &E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.advance_to_nonempty();
+        self.near[(self.cur as usize) & (NEAR_BUCKETS - 1)].peek()
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +495,24 @@ mod tests {
         assert_eq!(q.now(), 0);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn payload_peek_matches_next_pop() {
+        let mut heap = EventQueue::new();
+        let mut bucket = BucketQueue::new();
+        for (due, p) in [(9, "b"), (3, "a"), (9, "c")] {
+            heap.schedule(due, p);
+            bucket.schedule(due, p);
+        }
+        while !bucket.is_empty() {
+            let hp = heap.peek().map(|(d, &p)| (d, p));
+            let bp = bucket.peek().map(|(d, &p)| (d, p));
+            assert_eq!(hp, bp);
+            assert_eq!(hp, heap.pop());
+            assert_eq!(bp, bucket.pop());
+        }
+        assert_eq!(bucket.peek().map(|(d, &p)| (d, p)), None);
     }
 
     #[test]

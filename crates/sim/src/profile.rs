@@ -45,6 +45,25 @@ pub struct SimProfile {
     /// Templates that needed the assembler's full classify-and-rebuild
     /// path, summed over every pool in the run.
     pub assembly_full_rebuilds: u64,
+    /// Full rebuilds whose priority map carried at least one Accelerate
+    /// entry, summed over every pool (one rebuild can count under several
+    /// reasons).
+    pub rebuilds_with_accelerate: u64,
+    /// Full rebuilds carrying at least one Decelerate entry.
+    pub rebuilds_with_decelerate: u64,
+    /// Full rebuilds carrying at least one Exclude entry.
+    pub rebuilds_with_exclude: u64,
+    /// Deliveries whose payload's admission-precheck memo was already
+    /// populated by an earlier delivery of the same transaction — work
+    /// shared across the fan-out instead of recomputed per node.
+    pub admission_precheck_hits: u64,
+    /// Same-timestamp delivery runs drained as one multi-event batch.
+    pub delivery_batches: u64,
+    /// Deliveries handled inside multi-event batches (singletons take the
+    /// plain serial path and are not counted here).
+    pub batched_deliveries: u64,
+    /// Largest same-timestamp delivery batch drained.
+    pub max_delivery_batch: u64,
     /// Wall-clock seconds for the whole run.
     pub wall: f64,
     /// Seconds building and booking workload transactions (fee sampling,
@@ -55,9 +74,16 @@ pub struct SimProfile {
     /// Seconds scheduling deliveries through an enabled link-fault plan
     /// (loss/spike/reorder/duplicate draws dominate this path).
     pub faults: f64,
-    /// Seconds admitting deliveries into per-node Mempool views.
-    pub mempool: f64,
-    /// Seconds assembling templates, validating and connecting blocks.
+    /// Seconds admitting deliveries into per-node Mempool views (the
+    /// `admission` half of what schema ≤ 5 reported as one `mempool`
+    /// bucket).
+    pub admission: f64,
+    /// Seconds evicting confirmed/conflicted transactions from every
+    /// stakeholder view on block connect (previously buried inside
+    /// `assembly`).
+    pub eviction: f64,
+    /// Seconds assembling templates, validating and connecting blocks
+    /// (per-view eviction excluded — see `eviction`).
     pub assembly: f64,
     /// Seconds recording the primary observer's snapshots (cap
     /// enforcement included).

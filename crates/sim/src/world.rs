@@ -7,7 +7,7 @@ use crate::scenario::{PoolBehavior, Scenario};
 use crate::truth::{GroundTruth, TxKind};
 use crate::workload::{BuiltTx, PaymentDraws, PaymentTarget, Workload};
 use cn_chain::{Address, Amount, Chain, FastMap, FeeRate, Timestamp, Txid};
-use cn_mempool::{FeeEstimator, MempoolPolicy, MempoolSnapshot};
+use cn_mempool::{FeeEstimator, Mempool, MempoolPolicy, MempoolSnapshot};
 use cn_miner::{
     AccelerationService, AddressAccelerationPolicy, CensorPolicy, CompositePolicy, DarkFeePolicy,
     MinerPolicy, MiningPool,
@@ -495,14 +495,30 @@ impl World {
                 }
                 Ev::Deliver { node, payload, counted } => {
                     let t = Instant::now();
-                    self.profile.deliveries += 1;
-                    self.deliver(node, &payload, now_ms, counted);
-                    SimProfile::credit(&mut self.profile.mempool, t.elapsed());
+                    // Drain the run of deliveries sharing this timestamp.
+                    // The drain stops at the first non-Deliver event so the
+                    // queue's (due, seq) pop order is preserved exactly —
+                    // a same-timestamp MineBlock scheduled between two
+                    // deliveries still fires between them.
+                    let mut batch = vec![(node, payload, counted)];
+                    loop {
+                        match queue.peek() {
+                            Some((due, Ev::Deliver { .. })) if due == now_ms => {}
+                            _ => break,
+                        }
+                        let Some((_, Ev::Deliver { node, payload, counted })) = queue.pop()
+                        else {
+                            unreachable!("peek showed a same-timestamp Deliver");
+                        };
+                        self.profile.events_popped += 1;
+                        batch.push((node, payload, counted));
+                    }
+                    self.profile.deliveries += batch.len() as u64;
+                    self.deliver_batch(batch, now_ms);
+                    SimProfile::credit(&mut self.profile.admission, t.elapsed());
                 }
                 Ev::MineBlock => {
-                    let t = Instant::now();
                     self.mine_block(now_ms);
-                    SimProfile::credit(&mut self.profile.assembly, t.elapsed());
                     let gap = Exponential::with_mean(spacing as f64 * 1_000.0)
                         .sample(&mut self.rng_mine) as u64;
                     let next = now_ms + gap.max(1_000);
@@ -596,9 +612,12 @@ impl World {
         }
         self.profile.wall = run_started.elapsed().as_secs_f64();
         for pool in &self.pools {
-            let (hits, rebuilds) = pool.assembly_stats();
-            self.profile.assembly_incremental_hits += hits;
-            self.profile.assembly_full_rebuilds += rebuilds;
+            let stats = pool.assembly_stats();
+            self.profile.assembly_incremental_hits += stats.incremental_hits;
+            self.profile.assembly_full_rebuilds += stats.full_rebuilds;
+            self.profile.rebuilds_with_accelerate += stats.rebuilds_with_accelerate;
+            self.profile.rebuilds_with_decelerate += stats.rebuilds_with_decelerate;
+            self.profile.rebuilds_with_exclude += stats.rebuilds_with_exclude;
         }
 
         // The primary stream is exposed twice: as the legacy `snapshots`
@@ -644,7 +663,7 @@ impl World {
     fn top_fee_rate(&self) -> FeeRate {
         self.network
             .mempool(self.observer)
-            .and_then(|m| m.iter_by_fee_rate_desc().next().map(|e| e.fee_rate()))
+            .and_then(|m| m.top_fee_rate())
             .unwrap_or(FeeRate::MIN_RELAY)
     }
 
@@ -967,42 +986,168 @@ impl World {
         SimProfile::credit(slot, relay_started.elapsed());
     }
 
-    fn deliver(&mut self, node: NodeId, payload: &RelayPayload, now_ms: SimMillis, counted: bool) {
-        let txid = payload.txid;
-        let now_secs = now_ms / 1_000;
-        // A transaction can be confirmed while still in flight to slower
-        // nodes; real nodes check the chain on admission and drop such
-        // stragglers (counted as accepted — it *was* committed).
-        let accepted = if self.chain.contains_tx(&txid) {
-            true
-        } else {
-            match self.network.mempool_mut(node) {
-                Some(pool) => {
-                    pool.add_shared(Arc::clone(&payload.tx), payload.fee, now_secs).is_ok()
-                }
-                None => false,
+    /// Admits one drained run of same-timestamp deliveries.
+    ///
+    /// The precheck memo on each payload is populated (or counted as a
+    /// hit) serially first, so the hit counters are width-independent.
+    /// Singleton runs — the overwhelming majority — take the plain serial
+    /// path. Multi-event runs group by receiving node (per-node pop order
+    /// preserved) and fan the disjoint node groups across the fork-join
+    /// pool: per-node mempools are independent, the chain is read-only
+    /// during the batch, and no RNG is consulted, so final state is
+    /// byte-identical to the serial interleaving at any worker count.
+    /// Delivery bookkeeping then runs serially in exact pop order.
+    fn deliver_batch(&mut self, batch: Vec<(NodeId, Arc<RelayPayload>, bool)>, now_ms: SimMillis) {
+        for (_, payload, _) in &batch {
+            if payload.precheck_cached() {
+                self.profile.admission_precheck_hits += 1;
+            } else {
+                let _ = payload.precheck();
             }
-        };
-        // Duplicate deliveries hit the Mempool (above) but are invisible
-        // to the bookkeeping; the entry may also be gone already — e.g.
-        // reclaimed at confirmation while this delivery was in flight.
-        if !counted {
+        }
+        if batch.len() == 1 {
+            let (node, payload, counted) = batch.into_iter().next().expect("len checked");
+            self.deliver(node, &payload, now_ms, counted);
             return;
         }
-        if let Some((remaining, all_ok)) = self.delivery_state.get_mut(&txid) {
-            *all_ok &= accepted;
-            *remaining -= 1;
-            if *remaining == 0 {
-                let ok = *all_ok;
-                self.delivery_state.remove(&txid);
-                if ok {
-                    self.workload.mark_broadcast_ok(&txid);
+        self.profile.delivery_batches += 1;
+        self.profile.batched_deliveries += batch.len() as u64;
+        self.profile.max_delivery_batch = self.profile.max_delivery_batch.max(batch.len() as u64);
+        let now_secs = now_ms / 1_000;
+
+        // Group by receiving node, preserving per-node pop order. Batches
+        // are a handful of events, so a linear group scan beats a map.
+        struct NodeGroup<'a> {
+            node: NodeId,
+            mempool: Option<&'a mut Mempool>,
+            idxs: Vec<usize>,
+            accepted: Vec<bool>,
+        }
+        let World { network, chain, pool, delivery_state, workload, .. } = &mut *self;
+        // Confirmed-in-flight probe, width-independent, computed serially
+        // per item: counted deliveries read it off the bookkeeping map
+        // (absent entry ⟺ confirmed and reclaimed — see `deliver`);
+        // fault-injected duplicates still consult the chain directly.
+        let confirmed: Vec<bool> = batch
+            .iter()
+            .map(|(_, payload, counted)| {
+                if *counted {
+                    !delivery_state.contains_key(&payload.txid)
+                } else {
+                    chain.contains_tx(&payload.txid)
+                }
+            })
+            .collect();
+        let mut views: FastMap<NodeId, &mut Mempool> = network.mempools_iter_mut().collect();
+        let mut groups: Vec<NodeGroup> = Vec::new();
+        for (i, (node, _, _)) in batch.iter().enumerate() {
+            match groups.iter_mut().find(|g| g.node == *node) {
+                Some(g) => g.idxs.push(i),
+                None => groups.push(NodeGroup {
+                    node: *node,
+                    mempool: views.remove(node),
+                    idxs: vec![i],
+                    accepted: Vec::new(),
+                }),
+            }
+        }
+        let batch_ref = &batch;
+        let confirmed_ref = &confirmed;
+        pool.for_each_mut(&mut groups, |g| {
+            g.accepted = g
+                .idxs
+                .iter()
+                .map(|&i| {
+                    let (_, payload, _) = &batch_ref[i];
+                    confirmed_ref[i]
+                        || g.mempool.as_mut().is_some_and(|m| {
+                            m.add_prechecked(
+                                Arc::clone(&payload.tx),
+                                payload.fee,
+                                now_secs,
+                                payload.precheck(),
+                            )
+                            .is_ok()
+                        })
+                })
+                .collect();
+        });
+
+        // Scatter per-group verdicts back into pop order, then run the
+        // delivery bookkeeping serially in exactly that order.
+        let mut accepted = vec![false; batch.len()];
+        for g in &groups {
+            for (k, &i) in g.idxs.iter().enumerate() {
+                accepted[i] = g.accepted[k];
+            }
+        }
+        for (i, (_, payload, counted)) in batch.iter().enumerate() {
+            if !*counted {
+                continue;
+            }
+            if let Some((remaining, all_ok)) = delivery_state.get_mut(&payload.txid) {
+                *all_ok &= accepted[i];
+                *remaining -= 1;
+                if *remaining == 0 {
+                    let ok = *all_ok;
+                    delivery_state.remove(&payload.txid);
+                    if ok {
+                        workload.mark_broadcast_ok(&payload.txid);
+                    }
                 }
             }
         }
     }
 
+    fn deliver(&mut self, node: NodeId, payload: &RelayPayload, now_ms: SimMillis, counted: bool) {
+        let txid = payload.txid;
+        let now_secs = now_ms / 1_000;
+        if !counted {
+            // Fault-injected duplicate: invisible to the bookkeeping, but
+            // it still hits the Mempool unless the tx confirmed while in
+            // flight (real nodes drop such stragglers on admission).
+            if !self.chain.contains_tx(&txid) {
+                if let Some(pool) = self.network.mempool_mut(node) {
+                    let _ = pool.add_prechecked(
+                        Arc::clone(&payload.tx),
+                        payload.fee,
+                        now_secs,
+                        payload.precheck(),
+                    );
+                }
+            }
+            return;
+        }
+        // For a counted delivery, a missing bookkeeping entry means
+        // exactly one thing: the tx confirmed while this delivery was in
+        // flight (mine_block reclaims the entry of every confirmed tx,
+        // and the entry cannot be exhausted early — each counted delivery
+        // decrements it exactly once). Confirmed stragglers are dropped
+        // as accepted, so this lookup answers the per-delivery chain
+        // containment probe the old code paid on a much larger map.
+        let World { network, delivery_state, workload, .. } = &mut *self;
+        let Some((remaining, all_ok)) = delivery_state.get_mut(&txid) else {
+            return;
+        };
+        let accepted = match network.mempool_mut(node) {
+            Some(pool) => pool
+                .add_prechecked(Arc::clone(&payload.tx), payload.fee, now_secs, payload.precheck())
+                .is_ok(),
+            None => false,
+        };
+        *all_ok &= accepted;
+        *remaining -= 1;
+        if *remaining == 0 {
+            let ok = *all_ok;
+            delivery_state.remove(&txid);
+            if ok {
+                workload.mark_broadcast_ok(&txid);
+            }
+        }
+    }
+
     fn mine_block(&mut self, now_ms: SimMillis) {
+        let t_assembly = Instant::now();
         let now_secs = now_ms / 1_000;
         let idx = self.pool_picker.sample(&mut self.rng_mine);
         // Stale-tip race (fault injection): the pool found a block but a
@@ -1013,6 +1158,7 @@ impl World {
         let stale_prob = self.scenario.faults.stale_tip_prob;
         if stale_prob > 0.0 && self.rng_fault.next_bool(stale_prob) {
             self.orphaned_blocks += 1;
+            SimProfile::credit(&mut self.profile.assembly, t_assembly.elapsed());
             return;
         }
         let hub = self.hub_of_pool[idx];
@@ -1063,7 +1209,14 @@ impl World {
             .unwrap_or_else(|e| panic!("simulator built an invalid block: {e}"));
         self.estimator.record_rates(rates);
         self.workload.on_block_confirmed(&block);
-        self.network.apply_block(&block);
+        SimProfile::credit(&mut self.profile.assembly, t_assembly.elapsed());
+        // The block tick proper: every stakeholder view evicts the
+        // confirmed set and repairs its ancestor scores. Views are
+        // independent, so they fan across the pool; timed as `eviction`
+        // (schema ≤ 5 buried this inside `assembly`).
+        let t_eviction = Instant::now();
+        self.network.apply_block_parallel(&block, &self.pool);
+        SimProfile::credit(&mut self.profile.eviction, t_eviction.elapsed());
         self.block_miners.push(idx);
         self.profile.blocks += 1;
         // Reclaim delivery bookkeeping for just-confirmed transactions.

@@ -4,7 +4,11 @@
 //! sequence, and event counters. This is the determinism-join contract
 //! (DESIGN.md §8) enforced end-to-end through the simulator.
 
-use cn_sim::{CongestionProfile, PoolBehavior, PoolConfig, ScamConfig, Scenario, SimOutput, World};
+use cn_net::FaultPlan;
+use cn_sim::scenario::ObserverConfig;
+use cn_sim::{
+    CongestionProfile, PoolBehavior, PoolConfig, ScamConfig, Scenario, SimOutput, World,
+};
 use proptest::prelude::*;
 
 fn scenario(seed: u64) -> Scenario {
@@ -64,6 +68,91 @@ fn pregen_profile_accounts_for_all_draws() {
     let per_slot: u64 = p.pregen_shard_items.iter().sum();
     assert_eq!(per_slot, p.pregen_items, "shard breakdown must cover every item");
     assert!(p.pregen_items >= p.user_txs, "every issued tx consumes one pre-drawn record");
+}
+
+/// Near-zero link latency collapses every broadcast's fan-out onto one
+/// millisecond (delivery delays floor at `now + 1`), so the event loop's
+/// same-timestamp drain forms a multi-delivery batch for essentially
+/// every transaction — the batched-admission path runs constantly
+/// instead of occasionally.
+fn batched_delivery_scenario(seed: u64) -> Scenario {
+    let mut s = scenario(seed);
+    s.link_latency_median = 1e-9;
+    s.link_latency_sigma = 1e-6;
+    // Extra node views so one broadcast fans to several disjoint pools
+    // inside a single batch.
+    s.observers = (0..3).map(|i| ObserverConfig::default_node().named(format!("o{i}"))).collect();
+    s.relay_nodes = 2;
+    s
+}
+
+fn assert_batch_counters_identical(serial: &SimOutput, parallel: &SimOutput, workers: usize) {
+    let (s, p) = (&serial.profile, &parallel.profile);
+    assert_eq!(s.delivery_batches, p.delivery_batches, "workers={workers}");
+    assert_eq!(s.batched_deliveries, p.batched_deliveries, "workers={workers}");
+    assert_eq!(s.max_delivery_batch, p.max_delivery_batch, "workers={workers}");
+    assert_eq!(s.admission_precheck_hits, p.admission_precheck_hits, "workers={workers}");
+}
+
+/// Batched same-timestamp admission at widths 1–8: the per-batch node
+/// grouping and worker fan-out must not change a single byte of output,
+/// and the batch counters themselves must be width-invariant.
+#[test]
+fn batched_deliveries_are_worker_invariant() {
+    let serial = World::new(batched_delivery_scenario(7)).with_workers(1).run();
+    let p = &serial.profile;
+    assert!(p.delivery_batches > 0, "floored latency must form same-timestamp batches");
+    assert!(p.batched_deliveries >= 2 * p.delivery_batches, "a batch holds ≥2 deliveries");
+    assert!(p.max_delivery_batch >= 2, "widest batch must be a real batch");
+    assert!(p.admission_precheck_hits > 0, "fan-out must reuse the relay precheck memo");
+    for workers in [2, 3, 5, 8] {
+        let parallel = World::new(batched_delivery_scenario(7)).with_workers(workers).run();
+        assert_identical(&serial, &parallel, workers);
+        assert_batch_counters_identical(&serial, &parallel, workers);
+    }
+}
+
+/// Same-timestamp batches under an aggressive fault plan: losses carve
+/// partial fan-outs (some nodes never see a tx), duplicates re-deliver
+/// into pools that already hold the tx, and reorder jitter shuffles pop
+/// order. The batched path must agree with serial through all of it.
+#[test]
+fn faulted_partial_deliveries_are_worker_invariant() {
+    let faulted = |seed| {
+        let mut s = batched_delivery_scenario(seed);
+        s.faults = FaultPlan::scaled(0.6);
+        s
+    };
+    let serial = World::new(faulted(11)).with_workers(1).run();
+    assert!(serial.profile.delivery_batches > 0, "faulted run must still batch");
+    for workers in [2, 4, 8] {
+        let parallel = World::new(faulted(11)).with_workers(workers).run();
+        assert_identical(&serial, &parallel, workers);
+        assert_batch_counters_identical(&serial, &parallel, workers);
+    }
+}
+
+/// Parallel per-pool block ticks at widths 1–8: every mined block fans
+/// `apply_block` across all node mempools on the worker pool, so a run
+/// with a fleet of views exercises the parallel eviction path on every
+/// block. Chain, streams, and counters must be width-invariant.
+#[test]
+fn parallel_block_tick_is_worker_invariant() {
+    let fleet = |seed| {
+        let mut s = full_feature_scenario(seed);
+        s.observers =
+            (0..4).map(|i| ObserverConfig::default_node().named(format!("v{i}"))).collect();
+        s.relay_nodes = 3;
+        s
+    };
+    let serial = World::new(fleet(19)).with_workers(1).run();
+    assert!(serial.profile.blocks > 0, "scenario must mine blocks");
+    assert!(serial.chain.height() > 0, "blocks must connect");
+    for workers in [2, 6, 8] {
+        let parallel = World::new(fleet(19)).with_workers(workers).run();
+        assert_identical(&serial, &parallel, workers);
+        assert_batch_counters_identical(&serial, &parallel, workers);
+    }
 }
 
 proptest! {

@@ -140,6 +140,47 @@ impl Pool {
         (out, timings)
     }
 
+    /// Runs `f` once over every item **in place** — the batch-join shape
+    /// for fan-outs that mutate disjoint state (one mempool view per item)
+    /// instead of returning values.
+    ///
+    /// Items are claimed off the same atomic counter as [`Pool::map`];
+    /// because each index is claimed exactly once, each item's mutex is
+    /// locked exactly once and never contended — it exists only to let the
+    /// scoped threads share the slice safely without `unsafe`. `f` must
+    /// treat items as independent (no cross-item reads or writes); under
+    /// that discipline the final state is identical to the serial
+    /// `for item in items { f(item) }` at any worker count.
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(&mut T) + Sync,
+    {
+        let n = items.len();
+        let width = self.workers.min(n.max(1));
+        if width <= 1 {
+            for item in items.iter_mut() {
+                f(item);
+            }
+            return;
+        }
+        let cells: Vec<std::sync::Mutex<&mut T>> =
+            items.iter_mut().map(std::sync::Mutex::new).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..width {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let mut cell = cells[i].lock().expect("uncontended per-item lock");
+                    f(&mut cell);
+                });
+            }
+        });
+    }
+
     /// Generates `count` values from an index-addressed constructor, in
     /// index order. Sugar for [`Pool::map`] over `0..count` without
     /// materializing the index vector's contents into item payloads.
@@ -220,5 +261,34 @@ mod tests {
         // More workers than items must not deadlock or drop items.
         let out = Pool::with_workers(16).map(&[1u8, 2], |&b| b);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        for w in [1, 2, 3, 8] {
+            let mut items: Vec<u64> = (0..257).collect();
+            Pool::with_workers(w).for_each_mut(&mut items, |x| *x = *x * 3 + 1);
+            let expect: Vec<u64> = (0..257).map(|x| x * 3 + 1).collect();
+            assert_eq!(items, expect, "workers={w}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_handles_empty_and_skew() {
+        let mut empty: Vec<u8> = Vec::new();
+        Pool::with_workers(8).for_each_mut(&mut empty, |_| unreachable!());
+        let mut items: Vec<(usize, u64)> = (0..64).map(|i| (i, 0)).collect();
+        Pool::with_workers(7).for_each_mut(&mut items, |(i, acc)| {
+            for k in 0..(*i * 500) as u64 {
+                *acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+        });
+        let mut expect: Vec<(usize, u64)> = (0..64).map(|i| (i, 0)).collect();
+        for (i, acc) in &mut expect {
+            for k in 0..(*i * 500) as u64 {
+                *acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+        }
+        assert_eq!(items, expect);
     }
 }
