@@ -3,9 +3,16 @@
 //! ```text
 //! experiments [--quick] [--serial] [--verify] all
 //! experiments [--quick] table2 fig7 ...
+//! experiments --scale large megasim
 //! experiments [--quick] --stream
 //! experiments --list
 //! ```
+//!
+//! `--scale <quick|full|large>` picks the lab scale explicitly; `--quick`
+//! remains shorthand for `--scale quick`, and the default is full. The
+//! `large` tier exists for the `megasim` scale experiment (thousands of
+//! blocks through the event-log path); the standard datasets treat it
+//! like full scale.
 //!
 //! `--stream` runs the long-lived service loop instead of the experiment
 //! suite: it replays dataset 𝒜's interleaved block/snapshot event stream
@@ -32,7 +39,8 @@
 //! the files are refreshed.
 
 use cn_bench::exp_streaming::peak_rss_kb;
-use cn_bench::{run_experiment, Lab, StreamingBench, ALL_IDS, DATASET_NAMES};
+use cn_bench::{run_experiment, Lab, MegasimTier, StreamingBench, ALL_IDS, DATASET_NAMES};
+use cn_data::Scale;
 use cn_core::streaming::{interleave, StreamEvent, StreamingAuditor, StreamingConfig};
 use cn_core::StreamExpectation;
 use std::fmt::Write as _;
@@ -62,7 +70,7 @@ use std::time::{Duration, Instant};
 /// admission, parallel per-pool block ticks, and the mempool
 /// index-maintenance diet (weight multiset and fee-rate set deleted,
 /// fixed-point ancestor-rate prefix, seeded-cursor rebuilds).
-const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 23.358;
+const SERIAL_BASELINE_QUICK_ALL_SECS: f64 = 24.187;
 
 /// Checked-in wall-time anchor CI gates against (`ci/bench_baseline_wall_seconds.txt`).
 /// Read at runtime so the emitted speedup always compares to the same number
@@ -89,25 +97,55 @@ fn main() {
         }
         return;
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    let serial_flag = args.iter().any(|a| a == "--serial");
-    let verify = args.iter().any(|a| a == "--verify");
-    if args.iter().any(|a| a == "--stream") {
-        let lab = if quick { Lab::quick() } else { Lab::full() };
+    // `--scale <tier>` consumes its value token, so walk the args rather
+    // than filtering on the `--` prefix.
+    let mut scale = Scale::Full;
+    let mut serial_flag = false;
+    let mut verify = false;
+    let mut stream = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--serial" => serial_flag = true,
+            "--verify" => verify = true,
+            "--stream" => stream = true,
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("quick") => Scale::Quick,
+                    Some("full") => Scale::Full,
+                    Some("large") => Scale::Large,
+                    other => {
+                        eprintln!("--scale expects quick|full|large, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                std::process::exit(2);
+            }
+            id => ids.push(id.to_string()),
+        }
+        i += 1;
+    }
+    if stream {
+        let lab = Lab::new(scale);
         let wall_started = Instant::now();
         run_stream_service(&lab);
         let total_wall = wall_started.elapsed().as_secs_f64();
-        if let Err(e) = write_bench_json(&lab, quick, "stream", 1, 1, &[], total_wall) {
+        if let Err(e) = write_bench_json(&lab, scale, "stream", 1, 1, &[], total_wall) {
             eprintln!("warning: could not write BENCH_pipeline.json: {e}");
         }
         return;
     }
-    let mut ids: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
     let run_all = ids.is_empty() || ids.iter().any(|a| a == "all");
     if run_all {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
-    let lab = if quick { Lab::quick() } else { Lab::full() };
+    let lab = Lab::new(scale);
     let _ = std::fs::create_dir_all("results");
 
     let wall_started = Instant::now();
@@ -195,7 +233,7 @@ fn main() {
 
     let total_wall = wall_started.elapsed().as_secs_f64();
     if let Err(e) =
-        write_bench_json(&lab, quick, mode, detected, workers, &experiment_secs, total_wall)
+        write_bench_json(&lab, scale, mode, detected, workers, &experiment_secs, total_wall)
     {
         eprintln!("warning: could not write BENCH_pipeline.json: {e}");
     }
@@ -310,7 +348,7 @@ fn run_stream_service(lab: &Lab) {
 /// Emits `BENCH_pipeline.json` by hand (no JSON dependency in-tree).
 fn write_bench_json(
     lab: &Lab,
-    quick: bool,
+    scale: Scale,
     mode: &str,
     workers_detected: usize,
     workers_used: usize,
@@ -319,9 +357,12 @@ fn write_bench_json(
 ) -> std::io::Result<()> {
     let mut json = String::new();
     json.push_str("{\n");
-    // Schema 6: splits the `mempool` subsystem-seconds slot into
+    // Schema 7: adds the `megasim` block (the scale tier's per-tier
+    // simulate→log→replay counters, throughput, and `VmHWM` after replay
+    // — what the CI flat-RSS ceiling gates on) and the "large" scale.
+    // Schema 6 split the `mempool` subsystem-seconds slot into
     // `admission` + `eviction` (per-view block-connect eviction was
-    // previously buried in `assembly`), and adds batched-admission and
+    // previously buried in `assembly`), and added batched-admission and
     // rebuild-reason counters (`admission_precheck_hits`,
     // `delivery_batches`, `batched_deliveries`, `max_delivery_batch`,
     // `rebuilds_with_{accelerate,decelerate,exclude}`). Schema 5 added
@@ -334,8 +375,13 @@ fn write_bench_json(
     // the tri-state mode (serial/serial-auto/parallel). Bump on any key
     // change so trajectory tooling can tell versions apart without
     // sniffing.
-    json.push_str("  \"schema\": 6,\n");
-    let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "full" });
+    json.push_str("  \"schema\": 7,\n");
+    let scale_name = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+        Scale::Large => "large",
+    };
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"workers_detected\": {workers_detected},");
     let _ = writeln!(json, "  \"workers_used\": {workers_used},");
@@ -460,6 +506,55 @@ fn write_bench_json(
         }
         None => json.push_str("  \"streaming\": null,\n"),
     }
+    // Megasim scale-tier counters: present when the `megasim` experiment
+    // ran this process. CI's flat-RSS ceiling reads the two
+    // `rss_after_replay_kb` values (main must stay within 2× ref despite
+    // the 10× block target).
+    match lab.megasim_bench() {
+        Some(b) => {
+            let tier_json = |json: &mut String, key: &str, t: &MegasimTier, comma: &str| {
+                let _ = writeln!(json, "    \"{key}\": {{");
+                let _ = writeln!(json, "      \"blocks\": {},", t.blocks);
+                let _ = writeln!(json, "      \"snapshots\": {},", t.snapshots);
+                let _ = writeln!(json, "      \"log_bytes\": {},", t.log_bytes);
+                let _ = writeln!(json, "      \"log_segments\": {},", t.log_segments);
+                let _ = writeln!(json, "      \"bytes_per_block\": {:.1},", t.bytes_per_block());
+                let _ = writeln!(json, "      \"spill_segments\": {},", t.spill_segments);
+                let _ = writeln!(json, "      \"spill_bytes\": {},", t.spill_bytes);
+                let _ = writeln!(json, "      \"sim_seconds\": {:.3},", t.sim_seconds);
+                let _ = writeln!(json, "      \"replay_seconds\": {:.3},", t.replay_seconds);
+                let _ = writeln!(json, "      \"blocks_per_sec\": {:.1},", t.blocks_per_sec());
+                match t.rss_after_sim_kb {
+                    Some(kb) => {
+                        let _ = writeln!(json, "      \"rss_after_sim_kb\": {kb},");
+                    }
+                    None => json.push_str("      \"rss_after_sim_kb\": null,\n"),
+                }
+                match t.rss_after_replay_kb {
+                    Some(kb) => {
+                        let _ = writeln!(json, "      \"rss_after_replay_kb\": {kb}");
+                    }
+                    None => json.push_str("      \"rss_after_replay_kb\": null\n"),
+                }
+                let _ = writeln!(json, "    }}{comma}");
+            };
+            json.push_str("  \"megasim\": {\n");
+            tier_json(&mut json, "ref", &b.reference, ",");
+            tier_json(&mut json, "main", &b.main, ",");
+            match (b.reference.rss_after_replay_kb, b.main.rss_after_replay_kb) {
+                (Some(r), Some(m)) if r > 0 => {
+                    let _ = writeln!(
+                        json,
+                        "    \"rss_ratio_main_over_ref\": {:.2}",
+                        m as f64 / r as f64
+                    );
+                }
+                _ => json.push_str("    \"rss_ratio_main_over_ref\": null\n"),
+            }
+            json.push_str("  },\n");
+        }
+        None => json.push_str("  \"megasim\": null,\n"),
+    }
     let _ = writeln!(json, "  \"total_wall_seconds\": {total_wall:.3},");
     let _ = writeln!(
         json,
@@ -467,7 +562,7 @@ fn write_bench_json(
     );
     // The speedup figure only means something for the configuration the
     // baseline was measured on: the full quick-scale suite.
-    let full_quick_suite = quick && experiment_secs.len() == ALL_IDS.len();
+    let full_quick_suite = scale == Scale::Quick && experiment_secs.len() == ALL_IDS.len();
     if full_quick_suite && total_wall > 0.0 {
         let _ = writeln!(
             json,

@@ -30,7 +30,7 @@
 
 use crate::exp_robustness::{detected_pairs, precision_recall, sweep_config, truth_pairs};
 use crate::lab::Lab;
-use cn_chain::{FastSet, Timestamp, Txid};
+use cn_chain::{FastMap, FastSet, Timestamp, Txid};
 use cn_core::darkfee::score_detector;
 use cn_core::report::{fmt_pct, Table};
 use cn_core::{
@@ -236,9 +236,9 @@ fn run_scenario(
         let seen_r = if targets.is_empty() { 1.0 } else { seen as f64 / targets.len() as f64 };
 
         // Mean fused first-seen lag vs true issue time over the observed
-        // targets: the diffusion adversary's signature.
-        let mut first_seen: std::collections::HashMap<Txid, Timestamp> =
-            std::collections::HashMap::new();
+        // targets: the diffusion adversary's signature. Keyed by the same
+        // digest-based fast hasher every other audit path uses.
+        let mut first_seen: FastMap<Txid, Timestamp> = FastMap::default();
         for snap in fleet.fused.iter().filter(|s| s.is_detailed()) {
             for e in snap.entries.iter() {
                 first_seen
@@ -360,27 +360,10 @@ pub fn observer_fleet(lab: &Lab) -> String {
     out.push('\n');
 
     // The four scenarios are independent sims over forks of one
-    // checkpoint; run them on a claim-counter worker pool and render in
-    // scenario order so output is byte-identical to a serial sweep.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(scenarios.len());
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<Option<ScenarioRows>>> =
-        scenarios.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= scenarios.len() {
-                    break;
-                }
-                let (name, plan) = &scenarios[i];
-                let row = run_scenario(&checkpoint, &base, &truth, name, plan);
-                *slots[i].lock().expect("fleet slot") = Some(row);
-            });
-        }
+    // checkpoint; `Pool::map` claims them across workers and joins in
+    // input order, so output is byte-identical to a serial sweep.
+    let results = cn_stats::Pool::auto().map(&scenarios, |(name, plan)| {
+        run_scenario(&checkpoint, &base, &truth, name, plan)
     });
 
     let mut table = Table::new(&[
@@ -396,8 +379,7 @@ pub fn observer_fleet(lab: &Lab) -> String {
         "spread s",
     ]);
     let mut demo = String::new();
-    for slot in slots {
-        let scenario = slot.into_inner().expect("fleet slot").expect("scenario ran");
+    for scenario in results {
         let _ = writeln!(out, "{}", scenario.header);
         for row in &scenario.rows {
             table.row(row);

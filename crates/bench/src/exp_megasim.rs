@@ -1,0 +1,239 @@
+//! Megasim — the scale tier: simulate-and-audit thousands of blocks
+//! through the event-log path, with memory flat in chain length.
+//!
+//! Every other experiment holds its run in RAM as a [`cn_sim::SimOutput`];
+//! this one exercises the disk-shaped pipeline end to end at two tiers
+//! (a reference target and a 10× main target):
+//!
+//! 1. **Simulate → log**: [`cn_sim::World::run_streamed`] streams the
+//!    canonical block/snapshot event stream into a
+//!    [`cn_data::log::LogWriter`] on a temp file, dropping artifacts from
+//!    memory as it goes (peak sim RSS is O(epoch)).
+//! 2. **Log → audit**: a [`cn_data::log::LogReader`] replays the stream
+//!    into a [`cn_core::SpilledAuditor`], which epoch-checkpoints the
+//!    chain digest to a second temp file (peak replay RSS is
+//!    O(window + epoch)); the exact verdict is taken at the end.
+//! 3. **Identity**: the same log replayed through a plain unspilled
+//!    [`StreamingAuditor`] must produce a bit-identical verdict.
+//!
+//! Phases 1–2 run for *both* tiers before any verdict is taken: `VmHWM`
+//! is process-monotone, and the exact verdict (like the unspilled
+//! identity replay) deliberately rebuilds O(run) state — sampling after
+//! it would hand the main tier the reference tier's transient peak.
+//!
+//! The report pins only machine-independent facts (block/snapshot counts,
+//! log bytes, spill segments, verdict identity). Throughput and `VmHWM`
+//! peak RSS go to `BENCH_pipeline.json` via [`Lab::record_megasim`]; CI
+//! runs the tier with `--scale large` and asserts the main tier's RSS is
+//! within 2× the reference tier's despite the 10× block target — memory
+//! must not scale with chain length.
+
+use crate::exp_streaming::peak_rss_kb;
+use crate::lab::{Lab, MegasimBench, MegasimTier};
+use cn_core::report::Table;
+use cn_core::streaming::{StreamingAuditor, StreamingConfig};
+use cn_core::{AuditReport, SpilledAuditor, StreamExpectation};
+use cn_data::log::{LogEvent, LogReader, LogWriter};
+use cn_data::{dataset_mega, Scale};
+use cn_sim::World;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Blocks per event-log segment (resets the txid intern table).
+const LOG_EPOCH_BLOCKS: u64 = 50;
+
+/// Sealed heights per digest-spill checkpoint.
+const SPILL_EPOCH_BLOCKS: u64 = 16;
+
+/// Block-count targets `(reference, main)` for the lab's scale.
+fn targets(scale: Scale) -> (u64, u64) {
+    match scale {
+        Scale::Quick => (52, 520),
+        Scale::Full | Scale::Large => (520, 5_200),
+    }
+}
+
+/// A scratch file path under the system temp dir, unique to this process.
+fn scratch(label: &str, kind: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cn-megasim-{}-{label}.{kind}", std::process::id()))
+}
+
+/// A tier's disk-shaped pipeline, paused before any exact verdict: the
+/// event log sits on disk, the spilled auditor holds only its
+/// O(window + epoch) tail. Kept alive so the verdict and the identity
+/// replay can run *after* every tier's RSS samples are taken.
+struct TierPipeline {
+    tier: MegasimTier,
+    spilled: SpilledAuditor<File>,
+    expectation: StreamExpectation,
+    log_path: PathBuf,
+    spill_path: PathBuf,
+}
+
+/// One tier's pipeline: simulate into the log, replay through the spilled
+/// auditor, sample `VmHWM` — and stop there. The exact verdict rebuilds
+/// the full digest transiently (a documented paid-once peak), and `VmHWM`
+/// is process-monotone, so a verdict taken here would pollute every later
+/// tier's sample; [`finish_tier`] runs it once all tiers are measured.
+fn run_pipeline(label: &str, target_blocks: u64) -> TierPipeline {
+    let scenario = dataset_mega(target_blocks);
+    let expectation = StreamExpectation::from_run(
+        scenario.duration,
+        scenario.snapshot_interval,
+        scenario.snapshot_detail_every,
+    );
+    let log_path = scratch(label, "evlog");
+    let spill_path = scratch(label, "spill");
+
+    // Simulate, streaming the canonical event stream to the log.
+    let sim_started = Instant::now();
+    let log_file = File::create(&log_path).expect("create event log");
+    let mut writer = LogWriter::new(BufWriter::new(log_file), LOG_EPOCH_BLOCKS);
+    let summary = World::new(scenario).run_streamed(&mut writer);
+    let stats = writer.finish().expect("event log finishes");
+    let sim_seconds = sim_started.elapsed().as_secs_f64();
+    let rss_after_sim_kb = peak_rss_kb();
+
+    // Replay the log through the spilled auditor.
+    let replay_started = Instant::now();
+    let mut reader = LogReader::new(BufReader::new(File::open(&log_path).expect("reopen log")))
+        .expect("valid log header");
+    let spill_store = File::options()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&spill_path)
+        .expect("create spill store");
+    let mut spilled = SpilledAuditor::new(
+        StreamingAuditor::new(reader.initial_utxos(), StreamingConfig::new(expectation)),
+        spill_store,
+        SPILL_EPOCH_BLOCKS,
+    );
+    while let Some(event) = reader.next_event().expect("log replays") {
+        match &event {
+            LogEvent::Block(b) => spilled.push_block(b).expect("block replays"),
+            LogEvent::Snapshot(s) => spilled.push_snapshot(s),
+        }
+    }
+    let replay_seconds = replay_started.elapsed().as_secs_f64();
+    let rss_after_replay_kb = peak_rss_kb();
+
+    let tier = MegasimTier {
+        label: label.to_string(),
+        blocks: summary.blocks,
+        snapshots: summary.snapshots,
+        log_bytes: stats.bytes,
+        log_segments: stats.segments,
+        spill_segments: spilled.spilled_segments(),
+        spill_bytes: spilled.spilled_bytes(),
+        sim_seconds,
+        replay_seconds,
+        rss_after_sim_kb,
+        rss_after_replay_kb,
+    };
+    TierPipeline { tier, spilled, expectation, log_path, spill_path }
+}
+
+/// The deferred verdict phase: the spilled exact verdict, then the same
+/// log through a plain unspilled auditor as the identity oracle. Cleans
+/// up the tier's scratch files. Returns the verdict and whether the two
+/// replays agreed bit-for-bit.
+fn finish_tier(pipeline: TierPipeline) -> (AuditReport, bool) {
+    let TierPipeline { tier: _, mut spilled, expectation, log_path, spill_path } = pipeline;
+    let report = spilled.verdict().expect("spilled verdict");
+
+    let mut reader = LogReader::new(BufReader::new(File::open(&log_path).expect("reopen log")))
+        .expect("valid log header");
+    let mut plain =
+        StreamingAuditor::new(reader.initial_utxos(), StreamingConfig::new(expectation));
+    while let Some(event) = reader.next_event().expect("log replays") {
+        match &event {
+            LogEvent::Block(b) => plain.push_block(b).expect("block replays"),
+            LogEvent::Snapshot(s) => plain.push_snapshot(s),
+        }
+    }
+    let identical = plain.verdict().expect("plain verdict") == report;
+
+    let _ = std::fs::remove_file(&log_path);
+    let _ = std::fs::remove_file(&spill_path);
+    (report, identical)
+}
+
+/// The `megasim` experiment.
+pub fn megasim(lab: &Lab) -> String {
+    let (ref_target, main_target) = targets(lab.scale());
+    let mut txt = String::new();
+    txt.push_str("Megasim — simulate-and-audit through the event-log path\n");
+    let _ = writeln!(
+        txt,
+        "(dataset-M at block targets {ref_target} ref / {main_target} main; log epoch \
+         {LOG_EPOCH_BLOCKS} blocks, digest spill epoch {SPILL_EPOCH_BLOCKS} sealed blocks)\n"
+    );
+
+    let mut table = Table::new(&[
+        "tier",
+        "blocks",
+        "snapshots",
+        "log bytes",
+        "bytes/block",
+        "log segments",
+        "spill segments",
+        "spill bytes",
+        "identical",
+    ]);
+    let mut bench = MegasimBench::default();
+    let mut all_identical = true;
+
+    // Phase 1: both tiers' disk-shaped pipelines, so every RSS sample is
+    // taken before any O(run) verdict transient (VmHWM is monotone).
+    let pipelines: Vec<TierPipeline> = [("ref", ref_target), ("main", main_target)]
+        .into_iter()
+        .map(|(label, target)| run_pipeline(label, target))
+        .collect();
+    bench.reference = pipelines[0].tier.clone();
+    bench.main = pipelines[1].tier.clone();
+
+    // Phase 2: exact verdicts and unspilled identity replays.
+    for pipeline in pipelines {
+        let tier = pipeline.tier.clone();
+        let (report, identical) = finish_tier(pipeline);
+        all_identical &= identical;
+        let _ = writeln!(
+            txt,
+            "tier {}: {} blocks, {} snapshots, {} findings in the exact verdict",
+            tier.label,
+            tier.blocks,
+            tier.snapshots,
+            report.findings.len(),
+        );
+        table.row(&[
+            tier.label.clone(),
+            tier.blocks.to_string(),
+            tier.snapshots.to_string(),
+            tier.log_bytes.to_string(),
+            format!("{:.1}", tier.bytes_per_block()),
+            tier.log_segments.to_string(),
+            tier.spill_segments.to_string(),
+            tier.spill_bytes.to_string(),
+            if identical { "yes".into() } else { "NO — DIVERGED".into() },
+        ]);
+    }
+
+    txt.push('\n');
+    txt.push_str(&table.render());
+    let _ = writeln!(
+        txt,
+        "\nspilled verdict identical to unspilled replay on both tiers: {}",
+        if all_identical { "yes" } else { "NO — DIVERGED" },
+    );
+    txt.push_str(
+        "(throughput and VmHWM peak RSS go to BENCH_pipeline.json; CI asserts the main\n tier's \
+         RSS stays within 2x the reference tier's despite the 10x block target)\n",
+    );
+    lab.record_megasim(bench);
+    txt
+}

@@ -31,7 +31,7 @@ pub fn table5(lab: &Lab) -> String {
     ];
     let duration = match lab.scale() {
         Scale::Quick => 4 * 3_600,
-        Scale::Full => 24 * 3_600,
+        Scale::Full | Scale::Large => 24 * 3_600,
     };
     let mut out = String::new();
     let _ = writeln!(out, "Table 5 — miners' relative revenue from fees, by era");

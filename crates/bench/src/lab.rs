@@ -46,6 +46,69 @@ impl StreamingBench {
     }
 }
 
+/// One `megasim` tier's measurements: a full simulate→log→replay→audit
+/// pass through the event-log path at a fixed block-count target.
+#[derive(Clone, Debug, Default)]
+pub struct MegasimTier {
+    /// Tier label (`"ref"` or `"main"`).
+    pub label: String,
+    /// Blocks simulated (and written to the log).
+    pub blocks: u64,
+    /// Snapshots written to the log.
+    pub snapshots: u64,
+    /// Event-log size in bytes.
+    pub log_bytes: u64,
+    /// Segments the event log was chunked into.
+    pub log_segments: u64,
+    /// Digest segments the spilled auditor checkpointed to its store.
+    pub spill_segments: u64,
+    /// Bytes the spilled digest occupies.
+    pub spill_bytes: u64,
+    /// Wall-clock seconds simulating (writing the log).
+    pub sim_seconds: f64,
+    /// Wall-clock seconds replaying the log through the spilled auditor
+    /// (excludes the verdict).
+    pub replay_seconds: f64,
+    /// `VmHWM` in KiB sampled right after the simulation finished writing
+    /// the log, when the platform exposes it.
+    pub rss_after_sim_kb: Option<u64>,
+    /// `VmHWM` in KiB sampled right after the replay (before the verdict's
+    /// transient digest rebuild), when the platform exposes it.
+    pub rss_after_replay_kb: Option<u64>,
+}
+
+impl MegasimTier {
+    /// Blocks simulated-and-audited per second of sim + replay wall time.
+    pub fn blocks_per_sec(&self) -> f64 {
+        let secs = self.sim_seconds + self.replay_seconds;
+        if secs > 0.0 {
+            self.blocks as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Log bytes per block — the disk-shaped cost per unit of chain.
+    pub fn bytes_per_block(&self) -> f64 {
+        if self.blocks > 0 {
+            self.log_bytes as f64 / self.blocks as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The `megasim` experiment's two tiers (reference and main), surfaced
+/// into `BENCH_pipeline.json` so CI can assert peak RSS stays flat as the
+/// block-count target grows 10×.
+#[derive(Clone, Debug, Default)]
+pub struct MegasimBench {
+    /// The small tier (a tenth of the main target), measured first.
+    pub reference: MegasimTier,
+    /// The main tier.
+    pub main: MegasimTier,
+}
+
 /// Lazily simulated datasets plus derived indexes.
 ///
 /// Each dataset lives in one `OnceLock` cell, so it is simulated at most
@@ -61,6 +124,8 @@ pub struct Lab {
     sim_seconds: [OnceLock<f64>; DATASET_COUNT],
     /// Counters recorded by the streaming experiment, if it ran.
     streaming: OnceLock<StreamingBench>,
+    /// Counters recorded by the megasim experiment, if it ran.
+    megasim: OnceLock<MegasimBench>,
 }
 
 impl Lab {
@@ -71,6 +136,7 @@ impl Lab {
             cells: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             sim_seconds: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
             streaming: OnceLock::new(),
+            megasim: OnceLock::new(),
         }
     }
 
@@ -82,6 +148,12 @@ impl Lab {
     /// Days-scale lab for the experiment harness.
     pub fn full() -> Lab {
         Lab::new(Scale::Full)
+    }
+
+    /// The megasim scale tier: standard datasets behave as at full scale,
+    /// while `megasim` stretches to its thousands-of-blocks targets.
+    pub fn large() -> Lab {
+        Lab::new(Scale::Large)
     }
 
     /// The scale in use.
@@ -156,6 +228,17 @@ impl Lab {
     /// The streaming experiment's counters, if it ran this process.
     pub fn streaming_bench(&self) -> Option<StreamingBench> {
         self.streaming.get().copied()
+    }
+
+    /// Records the megasim experiment's tier measurements (first writer
+    /// wins — the experiment runs once per process).
+    pub fn record_megasim(&self, bench: MegasimBench) {
+        let _ = self.megasim.set(bench);
+    }
+
+    /// The megasim experiment's tier measurements, if it ran this process.
+    pub fn megasim_bench(&self) -> Option<MegasimBench> {
+        self.megasim.get().cloned()
     }
 
     /// Per-run simulator profiles (event counts, per-subsystem seconds),

@@ -16,6 +16,7 @@
 pub mod exp_datasets;
 pub mod exp_extensions;
 pub mod exp_fleet;
+pub mod exp_megasim;
 pub mod exp_misbehavior;
 pub mod exp_norms;
 pub mod exp_revenue;
@@ -23,14 +24,14 @@ pub mod exp_robustness;
 pub mod exp_streaming;
 pub mod lab;
 
-pub use lab::{Lab, StreamingBench, DATASET_COUNT, DATASET_NAMES};
+pub use lab::{Lab, MegasimBench, MegasimTier, StreamingBench, DATASET_COUNT, DATASET_NAMES};
 
 /// Every experiment id, in presentation order.
 pub const ALL_IDS: &[&str] = &[
     "fig1", "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2",
     "table3", "table4", "table5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
     // Extensions beyond the numbered artifacts:
-    "norm3", "harm", "robustness", "observer_fleet", "streaming",
+    "norm3", "harm", "robustness", "observer_fleet", "streaming", "megasim",
 ];
 
 /// Runs one experiment by id; `None` for an unknown id.
@@ -60,6 +61,7 @@ pub fn run_experiment(id: &str, lab: &Lab) -> Option<String> {
         "robustness" => exp_robustness::robustness(lab),
         "observer_fleet" => exp_fleet::observer_fleet(lab),
         "streaming" => exp_streaming::streaming(lab),
+        "megasim" => exp_megasim::megasim(lab),
         _ => return None,
     })
 }
@@ -74,10 +76,10 @@ mod tests {
         // Only check id resolution here — actually running them is the
         // integration tests' job (they are expensive).
         assert!(run_experiment("nope", &lab).is_none());
-        assert_eq!(ALL_IDS.len(), 24);
+        assert_eq!(ALL_IDS.len(), 25);
         let mut ids: Vec<&&str> = ALL_IDS.iter().collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 24, "ids must be unique");
+        assert_eq!(ids.len(), 25, "ids must be unique");
     }
 }

@@ -71,6 +71,10 @@ pub struct Chain {
     tx_index: FastMap<Txid, u64>,
     utxos: UtxoSet,
     seeds: Vec<crate::transaction::Transaction>,
+    /// Number of leading blocks dropped by [`Chain::prune_below`];
+    /// `blocks[0]` sits at this height. Zero for unpruned chains, so the
+    /// in-memory layout and behavior of the batch pipeline are unchanged.
+    pruned: u64,
 }
 
 impl Chain {
@@ -84,14 +88,20 @@ impl Chain {
         &self.params
     }
 
-    /// Number of blocks.
+    /// Number of blocks ever connected (pruned blocks still count).
     pub fn height(&self) -> u64 {
-        self.blocks.len() as u64
+        self.pruned + self.blocks.len() as u64
     }
 
     /// True when no blocks have been connected.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.height() == 0
+    }
+
+    /// Height of the lowest block still held in memory (0 unless
+    /// [`Chain::prune_below`] ran).
+    pub fn pruned_below(&self) -> u64 {
+        self.pruned
     }
 
     /// Hash of the tip block, or the zero hash for an empty chain.
@@ -99,19 +109,21 @@ impl Chain {
         self.blocks.last().map_or(BlockHash::ZERO, |b| b.block_hash())
     }
 
-    /// All blocks in height order.
+    /// All *retained* blocks in height order (everything, unless
+    /// [`Chain::prune_below`] dropped a prefix).
     pub fn blocks(&self) -> &[Block] {
         &self.blocks
     }
 
-    /// Per-block records in height order.
+    /// Per-block records for the retained blocks, in height order.
     pub fn records(&self) -> &[BlockRecord] {
         &self.records
     }
 
-    /// The block at `height`.
+    /// The block at `height` (`None` if pruned or beyond the tip).
     pub fn block_at(&self, height: u64) -> Option<&Block> {
-        self.blocks.get(height as usize)
+        let idx = height.checked_sub(self.pruned)?;
+        self.blocks.get(idx as usize)
     }
 
     /// Looks up a block by hash.
@@ -182,17 +194,48 @@ impl Chain {
         Ok(self.records.last().expect("just pushed"))
     }
 
-    /// Total fees collected across all blocks.
+    /// Drops every block strictly below `height` from memory: the block
+    /// bodies, their per-block records, and their `by_hash`/`tx_index`
+    /// entries. The UTXO set, seeds, and tip bookkeeping are untouched, so
+    /// the chain keeps validating and connecting new blocks exactly as
+    /// before — this is how the chunked simulation keeps resident state
+    /// O(epoch) instead of O(chain).
+    ///
+    /// At least the tip block is always retained. Pruned history is gone:
+    /// `block_at`/`block_by_hash` return `None` and `contains_tx` returns
+    /// `false` for it — callers that need full history (the batch audit
+    /// pipeline) simply never prune. Returns the number of blocks dropped.
+    pub fn prune_below(&mut self, height: u64) -> usize {
+        let cutoff = height.min(self.height().saturating_sub(1));
+        let Some(dropped) = cutoff.checked_sub(self.pruned).map(|d| d as usize) else {
+            return 0;
+        };
+        if dropped == 0 {
+            return 0;
+        }
+        for block in self.blocks.drain(..dropped) {
+            self.by_hash.remove(&block.block_hash());
+            for tx in &block.transactions {
+                self.tx_index.remove(&tx.txid());
+            }
+        }
+        self.records.drain(..dropped);
+        self.pruned = cutoff;
+        dropped
+    }
+
+    /// Total fees collected across the retained blocks.
     pub fn total_fees(&self) -> Amount {
         self.records.iter().map(|r| r.fees).sum()
     }
 
-    /// Count of blocks with no user transactions.
+    /// Count of retained blocks with no user transactions.
     pub fn empty_block_count(&self) -> usize {
         self.blocks.iter().filter(|b| b.is_empty_block()).count()
     }
 
-    /// Total number of confirmed non-coinbase transactions.
+    /// Total number of confirmed non-coinbase transactions in the retained
+    /// blocks.
     pub fn body_tx_count(&self) -> usize {
         self.blocks.iter().map(|b| b.body().len()).sum()
     }
@@ -272,6 +315,50 @@ mod tests {
         let block = Block::assemble(2, chain.tip_hash(), 600, 1, coinbase(1), vec![bad_spend]);
         assert!(chain.connect(block).is_err());
         assert_eq!(chain.height(), 1);
+    }
+
+    #[test]
+    fn prune_below_drops_history_but_keeps_connecting() {
+        let mut chain = Chain::new(Params::mainnet());
+        let fund = Transaction::builder()
+            .add_input(TxIn::new(OutPoint::NULL))
+            .pay_to(Address::from_label("funder"), Amount::from_sat(500_000))
+            .build();
+        chain.seed_utxos(&fund);
+        let mut hashes = Vec::new();
+        for _ in 0..3 {
+            hashes.push(extend(&mut chain, vec![]));
+        }
+        let spend = Transaction::builder()
+            .add_input_with_sizes(fund.txid(), 0, 107, 0)
+            .pay_to(Address::from_label("r"), Amount::from_sat(400_000))
+            .build();
+        let txid = spend.txid();
+        hashes.push(extend(&mut chain, vec![spend]));
+
+        assert_eq!(chain.prune_below(2), 2);
+        assert_eq!(chain.pruned_below(), 2);
+        assert_eq!(chain.height(), 4, "height counts pruned blocks");
+        assert_eq!(chain.tip_hash(), hashes[3]);
+        assert_eq!(chain.blocks().len(), 2);
+        assert!(chain.block_at(1).is_none(), "pruned history is gone");
+        assert!(chain.block_by_hash(&hashes[0]).is_none());
+        assert_eq!(chain.block_at(3).map(Block::block_hash), Some(hashes[3]));
+        assert!(chain.contains_tx(&txid), "retained txs still indexed");
+        assert_eq!(chain.records().first().map(|r| r.height), Some(2));
+
+        // Re-pruning below the current frontier is a no-op; the tip is
+        // always retained even when asked to prune everything.
+        assert_eq!(chain.prune_below(1), 0);
+        assert_eq!(chain.prune_below(u64::MAX), 1);
+        assert_eq!(chain.blocks().len(), 1);
+        assert_eq!(chain.tip_hash(), hashes[3]);
+
+        // The chain still validates and connects new blocks after pruning.
+        let next = extend(&mut chain, vec![]);
+        assert_eq!(chain.height(), 5);
+        assert_eq!(chain.tip_hash(), next);
+        assert_eq!(chain.block_at(4).map(Block::block_hash), Some(next));
     }
 
     #[test]

@@ -61,6 +61,11 @@ impl UtxoSet {
         self.utxos.contains_key(outpoint)
     }
 
+    /// Iterates over all unspent outputs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&OutPoint, &TxOut)> {
+        self.utxos.iter()
+    }
+
     /// Total input value of `tx` — the sum of values of the outputs it
     /// spends. Fails if any input is not currently unspent.
     pub fn input_value(&self, tx: &Transaction) -> Result<Amount, UtxoError> {

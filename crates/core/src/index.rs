@@ -61,8 +61,18 @@ impl BlockInfo {
 }
 
 /// The chain, digested for auditing.
+///
+/// Supports *epoch checkpointing*: [`ChainIndex::drain_below`] hands the
+/// oldest block digests off (for a caller to spill to disk) and records the
+/// offset in `base`, so a long-running streaming audit retains O(window)
+/// digests in memory. Heights stay absolute throughout — a drained index
+/// answers [`ChainIndex::block`] for retained heights and `None` below the
+/// base, and [`ChainIndex::from_blocks`] rebuilds a full index from
+/// re-read segments.
 #[derive(Clone, Debug, Default)]
 pub struct ChainIndex {
+    /// Heights below this have been drained; `blocks[0]` is height `base`.
+    base: u64,
     blocks: Vec<BlockInfo>,
     by_txid: FastMap<Txid, (u64, u32)>,
 }
@@ -77,10 +87,29 @@ impl ChainIndex {
         let mut index = ChainIndex::default();
         index.blocks.reserve(chain.blocks().len());
         for (block, record) in chain.blocks().iter().zip(chain.records()) {
-            debug_assert_eq!(record.height, index.blocks.len() as u64);
+            debug_assert_eq!(record.height, index.len() as u64);
             index.push_block(block, &record.tx_fees);
         }
         index
+    }
+
+    /// Rebuilds an index from previously drained (or otherwise digested)
+    /// blocks — the restore half of the [`ChainIndex::drain_below`]
+    /// checkpoint contract. Blocks must be contiguous and in height order;
+    /// the first block's height becomes the base.
+    ///
+    /// # Panics
+    /// Panics when the heights are not contiguous.
+    pub fn from_blocks(blocks: Vec<BlockInfo>) -> ChainIndex {
+        let base = blocks.first().map(|b| b.height).unwrap_or(0);
+        let mut by_txid = FastMap::default();
+        for (i, block) in blocks.iter().enumerate() {
+            assert_eq!(block.height, base + i as u64, "blocks must be contiguous");
+            for tx in &block.txs {
+                by_txid.insert(tx.txid, (block.height, tx.position as u32));
+            }
+        }
+        ChainIndex { base, blocks, by_txid }
     }
 
     /// Appends one connected block to the index — the incremental form of
@@ -97,7 +126,7 @@ impl ChainIndex {
             block.body().len(),
             "chain record out of sync with block body"
         );
-        let height = self.blocks.len() as u64;
+        let height = self.base + self.blocks.len() as u64;
         let cpfp = cpfp_txids_in_block(block);
         let miner = block
             .coinbase()
@@ -130,14 +159,39 @@ impl ChainIndex {
         });
     }
 
-    /// All blocks, by height.
+    /// All retained blocks, by height (every block unless
+    /// [`ChainIndex::drain_below`] has checkpointed a prefix off).
     pub fn blocks(&self) -> &[BlockInfo] {
         &self.blocks
     }
 
-    /// The block at `height`.
+    /// The height below which blocks have been drained (0 for a full
+    /// index).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The block at `height`, `None` when unknown or drained.
     pub fn block(&self, height: u64) -> Option<&BlockInfo> {
-        self.blocks.get(height as usize)
+        let offset = height.checked_sub(self.base)?;
+        self.blocks.get(offset as usize)
+    }
+
+    /// Drains every retained block below `height`, returning them in
+    /// height order and forgetting their per-transaction locations. The
+    /// caller owns their persistence; [`ChainIndex::from_blocks`] over the
+    /// concatenated drained segments (plus the retained tail) reproduces
+    /// the undrained index exactly.
+    pub fn drain_below(&mut self, height: u64) -> Vec<BlockInfo> {
+        let cut = height.clamp(self.base, self.base + self.blocks.len() as u64);
+        let drained: Vec<BlockInfo> = self.blocks.drain(..(cut - self.base) as usize).collect();
+        for block in &drained {
+            for tx in &block.txs {
+                self.by_txid.remove(&tx.txid);
+            }
+        }
+        self.base = cut;
+        drained
     }
 
     /// Locates a confirmed transaction as `(height, position)`.
@@ -148,20 +202,20 @@ impl ChainIndex {
     /// The record of a confirmed transaction.
     pub fn record(&self, txid: &Txid) -> Option<&TxRecord> {
         let (h, p) = self.locate(txid)?;
-        self.blocks.get(h as usize).and_then(|b| b.txs.get(p as usize))
+        self.block(h).and_then(|b| b.txs.get(p as usize))
     }
 
-    /// Number of blocks.
+    /// Chain height covered: drained prefix plus retained blocks.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.base as usize + self.blocks.len()
     }
 
     /// True when the chain was empty.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.len() == 0
     }
 
-    /// Total body transactions.
+    /// Total body transactions across the *retained* blocks.
     pub fn tx_count(&self) -> usize {
         self.blocks.iter().map(|b| b.txs.len()).sum()
     }
@@ -296,6 +350,56 @@ mod tests {
                 assert_eq!(grown.locate(&tx.txid), batch.locate(&tx.txid));
             }
         }
+    }
+
+    #[test]
+    fn drain_below_checkpoints_and_from_blocks_restores() {
+        let chain = sample_chain();
+        let full = ChainIndex::build(&chain);
+        let mut drained = ChainIndex::build(&chain);
+
+        let segment = drained.drain_below(1);
+        assert_eq!(segment.len(), 1);
+        assert_eq!(segment[0].height, 0);
+        assert_eq!(drained.base(), 1);
+        assert_eq!(drained.len(), full.len(), "heights stay absolute");
+        assert!(drained.block(0).is_none(), "drained height is gone");
+        assert_eq!(drained.block(1).map(|b| b.hash), full.block(1).map(|b| b.hash));
+        // Drained txids are forgotten; retained ones still resolve.
+        for tx in &full.block(1).expect("b1").txs {
+            assert_eq!(drained.locate(&tx.txid), full.locate(&tx.txid));
+            assert_eq!(drained.record(&tx.txid), full.record(&tx.txid));
+        }
+        // A no-op drain below the base returns nothing.
+        assert!(drained.drain_below(0).is_empty());
+
+        // Restore: drained segments + retained tail = the full index.
+        let mut all = segment;
+        all.extend(drained.blocks().iter().cloned());
+        let restored = ChainIndex::from_blocks(all);
+        assert_eq!(restored.base(), 0);
+        assert_eq!(restored.len(), full.len());
+        assert_eq!(restored.tx_count(), full.tx_count());
+        for block in full.blocks() {
+            for tx in &block.txs {
+                assert_eq!(restored.locate(&tx.txid), full.locate(&tx.txid));
+            }
+        }
+    }
+
+    #[test]
+    fn push_block_continues_past_a_drain() {
+        let chain = sample_chain();
+        let full = ChainIndex::build(&chain);
+        let mut grown = ChainIndex::default();
+        let (blocks, records): (Vec<_>, Vec<_>) =
+            chain.blocks().iter().zip(chain.records()).unzip();
+        grown.push_block(blocks[0], &records[0].tx_fees);
+        let spilled = grown.drain_below(1);
+        grown.push_block(blocks[1], &records[1].tx_fees);
+        assert_eq!(grown.len(), 2, "height accounts for the drained prefix");
+        assert_eq!(grown.block(1).map(|b| b.hash), full.block(1).map(|b| b.hash));
+        assert_eq!(spilled[0].hash, full.block(0).expect("b0").hash);
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub mod prioritization;
 pub mod reconcile;
 pub mod report;
 pub mod self_interest;
+pub mod spill;
 pub mod sppe;
 pub mod streaming;
 
@@ -98,7 +99,8 @@ pub use reconcile::{
     audit_with_fleet, reconcile, reconcile_with_pool, FirstSeenStats, FleetView, ObserverView,
 };
 pub use sppe::{sppe_for_miner, tx_sppe};
+pub use spill::{SpillError, SpilledAuditor};
 pub use streaming::{
-    interleave, RollingMiner, RollingVerdict, StreamCounters, StreamEvent, StreamingAuditor,
-    StreamingConfig,
+    interleave, DigestSegment, RollingMiner, RollingVerdict, StreamCounters, StreamEvent,
+    StreamingAuditor, StreamingConfig,
 };

@@ -53,7 +53,7 @@ use crate::attribution::attribute;
 use crate::auditor::{audit_attributed, AuditConfig, AuditReport};
 use crate::coverage::{SnapshotCoverage, StreamExpectation};
 use crate::error::AuditError;
-use crate::index::ChainIndex;
+use crate::index::{BlockInfo, ChainIndex};
 use crate::pairs::{count_cross_block, BlockPairSet};
 use crate::ppe::block_ppe;
 use crate::self_interest::SelfInterestMap;
@@ -377,6 +377,22 @@ impl StreamingAuditor {
         self.index.len() as u64
     }
 
+    /// Heights whose rolling state has sealed — everything below this is
+    /// settled and eligible for [`StreamingAuditor::drain_digest`].
+    pub fn sealed_blocks(&self) -> u64 {
+        self.seal_frontier
+    }
+
+    /// The retained (undrained) chain-digest state: indexed blocks, the
+    /// observed-txid set, and the address→txid log. A digest-checkpointing
+    /// caller appends these to its restored segments when rebuilding the
+    /// full digest for [`StreamingAuditor::verdict_with_digest`].
+    pub fn digest_view(
+        &self,
+    ) -> (&[crate::index::BlockInfo], &FastSet<Txid>, &FastMap<Address, Vec<Txid>>) {
+        (self.index.blocks(), &self.observed, &self.addr_txids)
+    }
+
     /// Dispatches one event.
     pub fn push_event(&mut self, event: &StreamEvent<'_>) -> Result<(), AuditError> {
         match event {
@@ -668,6 +684,23 @@ impl StreamingAuditor {
     /// and snapshot set, with the same refusal semantics (empty stream,
     /// coverage floor).
     pub fn verdict(&self) -> Result<AuditReport, AuditError> {
+        self.verdict_with_digest(&self.index, &self.observed, &self.addr_txids)
+    }
+
+    /// The exact audit with the chain-digest side supplied by the caller —
+    /// the restore half of the [`StreamingAuditor::drain_digest`] contract.
+    /// A caller that checkpointed digest segments out of memory rebuilds
+    /// the full `index`, `observed` set, and `addr_txids` log (drained
+    /// segments + this auditor's retained remainder) and gets the verdict
+    /// [`StreamingAuditor::verdict`] would have produced had nothing been
+    /// drained. Coverage counters, refusal semantics, and poisoning are
+    /// still this auditor's own.
+    pub fn verdict_with_digest(
+        &self,
+        index: &ChainIndex,
+        observed: &FastSet<Txid>,
+        addr_txids: &FastMap<Address, Vec<Txid>>,
+    ) -> Result<AuditReport, AuditError> {
         if let Some(height) = self.poisoned {
             return Err(AuditError::UnreplayableBlock { height });
         }
@@ -681,13 +714,9 @@ impl StreamingAuditor {
             present_detailed: self.present_detailed,
             truncated_detailed: self.truncated_detailed,
             degraded_windows: self.degraded_windows,
-            txs_observed: self.observed.len(),
-            txs_confirmed: self.index.tx_count(),
-            confirmed_observed: self
-                .observed
-                .iter()
-                .filter(|t| self.index.record(t).is_some())
-                .count(),
+            txs_observed: observed.len(),
+            txs_confirmed: index.tx_count(),
+            confirmed_observed: observed.iter().filter(|t| index.record(t).is_some()).count(),
         };
         let confidence = coverage.confidence();
         if confidence < self.config.expectation.min_coverage {
@@ -696,7 +725,7 @@ impl StreamingAuditor {
                 required: self.config.expectation.min_coverage,
             });
         }
-        let attribution = attribute(&self.index);
+        let attribution = attribute(index);
         // Rebuild the self-interest map from the address log: pool wallet
         // inventories are only known now (attribution is retroactive), and
         // the log recorded exactly what the batch UTXO replay would see.
@@ -704,7 +733,7 @@ impl StreamingAuditor {
         for pool in &attribution.pools {
             let mut set = FastSet::default();
             for wallet in &pool.wallets {
-                if let Some(txids) = self.addr_txids.get(wallet) {
+                if let Some(txids) = addr_txids.get(wallet) {
                     set.extend(txids.iter().copied());
                 }
             }
@@ -712,10 +741,53 @@ impl StreamingAuditor {
                 self_map.by_pool.insert(pool.name.clone(), set);
             }
         }
-        let mut report = audit_attributed(&self.index, attribution, &self_map, self.config.audit);
+        let mut report = audit_attributed(index, attribution, &self_map, self.config.audit);
         report.coverage = Some(coverage);
         Ok(report)
     }
+
+    /// Checkpoints the settled slice of the chain-digest state out of this
+    /// auditor, bounding its memory to O(window + epoch) regardless of
+    /// chain length. Returns:
+    ///
+    /// * every indexed block below the seal frontier (no push path reads
+    ///   them again — sealing touches only heights at or above the
+    ///   frontier, and pair partners live in the window map),
+    /// * the entire observed-txid set (only read at verdict time; txids
+    ///   re-observed after a drain reappear in a later segment, so restore
+    ///   is a set union),
+    /// * the entire address→txid log (ditto; per-address segments
+    ///   concatenate in drain order back to the undrained vectors).
+    ///
+    /// Rolling state and coverage counters are untouched —
+    /// [`StreamingAuditor::rolling`] is oblivious to drains. The exact
+    /// verdict requires handing the drained segments back via
+    /// [`StreamingAuditor::verdict_with_digest`]; calling
+    /// [`StreamingAuditor::verdict`] after a drain audits only the
+    /// retained remainder. Segment contents are sorted (observed txids,
+    /// address keys) so checkpoint bytes are deterministic.
+    pub fn drain_digest(&mut self) -> DigestSegment {
+        let blocks = self.index.drain_below(self.seal_frontier);
+        let mut observed: Vec<Txid> = std::mem::take(&mut self.observed).into_iter().collect();
+        observed.sort_unstable();
+        let mut addr_txids: Vec<(Address, Vec<Txid>)> =
+            std::mem::take(&mut self.addr_txids).into_iter().collect();
+        addr_txids.sort_unstable_by_key(|(addr, _)| *addr);
+        DigestSegment { blocks, observed, addr_txids }
+    }
+}
+
+/// One checkpointed slice of the chain-digest state; see
+/// [`StreamingAuditor::drain_digest`].
+#[derive(Clone, Debug, Default)]
+pub struct DigestSegment {
+    /// Indexed blocks below the seal frontier, in height order.
+    pub blocks: Vec<BlockInfo>,
+    /// Txids observed in detailed snapshots since the last drain, sorted.
+    pub observed: Vec<Txid>,
+    /// Address→confirmed-txid log entries since the last drain, sorted by
+    /// address; each list is in confirmation order.
+    pub addr_txids: Vec<(Address, Vec<Txid>)>,
 }
 
 #[cfg(test)]

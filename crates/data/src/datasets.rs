@@ -29,13 +29,17 @@ pub enum Scale {
     Quick,
     /// Days — for the experiment harness and benches.
     Full,
+    /// Weeks — the `megasim` scale tier (thousands of blocks through the
+    /// event-log path). The standard datasets treat this like [`Full`];
+    /// only [`dataset_mega`]'s block-count targets stretch with it.
+    Large,
 }
 
 impl Scale {
     fn duration(self, quick: Timestamp, full: Timestamp) -> Timestamp {
         match self {
             Scale::Quick => quick,
-            Scale::Full => full,
+            Scale::Full | Scale::Large => full,
         }
     }
 
@@ -46,7 +50,7 @@ impl Scale {
     fn snapshot_detail_every(self) -> u64 {
         match self {
             Scale::Quick => 4,
-            Scale::Full => 20,
+            Scale::Full | Scale::Large => 20,
         }
     }
 }
@@ -198,6 +202,58 @@ pub fn dataset_c(scale: Scale) -> Scenario {
     s
 }
 
+/// Dataset ℳ ("mega"): the scale-tier scenario behind the `megasim`
+/// experiment. Unlike 𝒜/ℬ/𝒞 it is not calibrated against a paper table;
+/// it exists to make chain *length* the only variable under test, so the
+/// per-block knobs are deliberately lean — quarter-size blocks, a small
+/// cast, sparse snapshots — and the span is set by a block-count target
+/// (`target_blocks × target_spacing`). The simulate-and-audit pipeline
+/// runs it through the event-log path ([`crate::log`]) at two tiers and
+/// asserts peak RSS stays flat in the target.
+pub fn dataset_mega(target_blocks: u64) -> Scenario {
+    let mut s = Scenario::base("dataset-M", 0x3E6A);
+    // 25 kvB blocks: positions still span dozens of slots, but per-block
+    // simulation cost is a quarter of the calibrated datasets'.
+    s.params = Params { max_block_weight: 100_000, ..Params::mainnet() };
+    s.duration = target_blocks * s.params.target_spacing_secs;
+    s.pools = roster_2019_a().iter().map(|p| p.honest()).collect();
+    // Arrival rate matched to the quarter-size blocks: ~0.10 tx/s against
+    // ~41.7 vB/s of capacity keeps mean utilization near two thirds, so
+    // diurnal peaks oversubscribe briefly but troughs always drain the
+    // backlog. (0.52 — dataset-𝒜's rate against full-size blocks — would
+    // oversubscribe 4× here and grow the mempool without bound.)
+    s.congestion = CongestionProfile::diurnal(0.10, 0.35);
+    s.observers = vec![ObserverConfig {
+        label: "M-default".into(),
+        peers: 8,
+        policy: MempoolPolicy::default(),
+        max_mempool_vsize: Some(25 * s.params.max_block_vsize()),
+        latency_factor: 1.0,
+    }];
+    // Sparse sampling: one snapshot a minute, one detailed per ten — the
+    // log path's row volume grows with the run regardless, which is the
+    // point.
+    s.snapshot_interval = 60;
+    s.snapshot_detail_every = 10;
+    s.relay_nodes = 8;
+    s.miner_hubs = 2;
+    s.users = 120;
+    s.cpfp_prob = 0.3;
+    s.empty_block_prob = 0.01;
+    s.zero_fee_prob = 0.0;
+    // A trickle of pool-wallet self-spends, so coinbase rewards re-enter
+    // circulation instead of accruing one unspent output per block for
+    // the whole run (pool wallets consolidate like user wallets do).
+    s.self_interest_rate = 0.002;
+    s.acceleration_demand = 0.0;
+    // The load-bearing knob: without consolidation every payment nets one
+    // new live output, so the UTXO set — and sim RSS with it — grows
+    // linearly in the block target. Sweeping wallets back down to a dozen
+    // outputs caps the live population at ~users × threshold.
+    s.wallet_consolidation = Some(12);
+    s
+}
+
 /// Dataset 𝒞 observed through a *realistically broken* measurement
 /// pipeline: the same chain-side misbehaviours as [`dataset_c`], but the
 /// observation layer degrades at a calibrated moderate fault intensity —
@@ -219,12 +275,28 @@ mod tests {
 
     #[test]
     fn all_datasets_validate() {
-        for scale in [Scale::Quick, Scale::Full] {
+        for scale in [Scale::Quick, Scale::Full, Scale::Large] {
             assert_eq!(dataset_a(scale).validate(), Ok(()));
             assert_eq!(dataset_b(scale).validate(), Ok(()));
             assert_eq!(dataset_c(scale).validate(), Ok(()));
             assert_eq!(dataset_faulty(scale).validate(), Ok(()));
         }
+        assert_eq!(dataset_mega(52).validate(), Ok(()));
+    }
+
+    #[test]
+    fn mega_duration_tracks_the_block_target() {
+        let small = dataset_mega(52);
+        let large = dataset_mega(5_200);
+        assert_eq!(small.duration, 52 * small.params.target_spacing_secs);
+        assert_eq!(large.duration, 100 * small.duration);
+        // Everything but the span is tier-invariant: the two tiers must
+        // differ only in chain length for the flat-RSS comparison to mean
+        // anything.
+        assert_eq!(small.pools, large.pools);
+        assert_eq!(small.seed, large.seed);
+        assert_eq!(small.users, large.users);
+        assert_eq!(small.snapshot_interval, large.snapshot_interval);
     }
 
     #[test]

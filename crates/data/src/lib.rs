@@ -19,6 +19,9 @@
 //!   comparison in reports.
 //! * [`legacy`] — the pre-April-2016 coin-age-priority ordering era used
 //!   by the Figure 1 reproduction.
+//! * [`log`] — the compact binary event-log codec: a run's canonical
+//!   block/snapshot stream serialized to disk and replayed, so run length
+//!   is a disk-shaped cost instead of a RAM-shaped one.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +29,9 @@
 pub mod calibration;
 pub mod datasets;
 pub mod legacy;
+pub mod log;
 pub mod pools;
 
-pub use datasets::{dataset_a, dataset_b, dataset_c, dataset_faulty, Scale};
+pub use datasets::{dataset_a, dataset_b, dataset_c, dataset_faulty, dataset_mega, Scale};
+pub use log::{write_run, LogError, LogEvent, LogReader, LogStats, LogWriter};
 pub use pools::{roster_2019_a, roster_2019_b, roster_2020, PoolSpec};

@@ -155,6 +155,18 @@ impl MempoolSnapshot {
         self.degraded
     }
 
+    /// The same snapshot stamped *truncated* — the reassembly hook for
+    /// decoders replaying recorded streams. [`MempoolSnapshot::from_entries`]
+    /// always yields an untruncated snapshot and
+    /// [`MempoolSnapshot::truncate_detail`] performs a fresh cut, so a codec
+    /// that persisted a truncated snapshot's surviving rows needs this stamp
+    /// to round-trip the flag (the aggregates already equal the surviving-row
+    /// sums, which `from_entries` recomputes identically).
+    pub fn mark_truncated(mut self) -> MempoolSnapshot {
+        self.truncated = true;
+        self
+    }
+
     /// True when per-transaction rows are present.
     pub fn is_detailed(&self) -> bool {
         self.detailed

@@ -14,6 +14,8 @@
 //!   bidding against a wallet-style estimator, CPFP chains, scam
 //!   donations, self-interest transfers, dark-fee acceleration demand.
 //! * [`scenario`] — the full configuration surface.
+//! * [`sink`] — streaming event sinks: the chunked run path emits the
+//!   canonical block/snapshot stream to a consumer instead of RAM.
 //! * [`truth`] — ground-truth labels for detector validation.
 //! * [`world`] — the runner: arrivals → P2P propagation → per-pool
 //!   template construction → chain validation → Mempool block-connect.
@@ -28,6 +30,7 @@ pub mod congestion;
 pub mod event;
 pub mod profile;
 pub mod scenario;
+pub mod sink;
 pub mod truth;
 pub mod workload;
 pub mod world;
@@ -35,5 +38,6 @@ pub mod world;
 pub use congestion::CongestionProfile;
 pub use profile::SimProfile;
 pub use scenario::{PoolBehavior, PoolConfig, ScamConfig, Scenario};
+pub use sink::{CollectingSink, EventSink};
 pub use truth::GroundTruth;
-pub use world::{SimOutput, World, WorldCheckpoint};
+pub use world::{SimOutput, StreamedSummary, World, WorldCheckpoint};

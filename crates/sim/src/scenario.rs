@@ -193,6 +193,15 @@ pub struct Scenario {
     /// Probability a user transaction buys dark-fee acceleration instead
     /// of bidding publicly (requires a `DarkFee` pool).
     pub acceleration_demand: f64,
+    /// Wallet consolidation threshold: when set, a payment whose funding
+    /// wallet holds more than this many tracked outputs sweeps extra
+    /// confirmed outputs (including dust) into the spend as additional
+    /// inputs, so the live output population — and with it the UTXO set
+    /// and the workload's ledger — stays bounded no matter how long the
+    /// run is. `None` (the default) is bit-inert: every payment spends
+    /// exactly one output, as before. Long-horizon scenarios (dataset-M)
+    /// enable this so simulation memory is flat in chain length.
+    pub wallet_consolidation: Option<usize>,
     /// Optional scam-attack window.
     pub scam: Option<ScamConfig>,
     /// Fault injection: link loss/latency spikes/duplicates, observer
@@ -235,6 +244,7 @@ impl Scenario {
             zero_fee_prob: 0.0,
             self_interest_rate: 0.002,
             acceleration_demand: 0.0,
+            wallet_consolidation: None,
             scam: None,
             faults: FaultPlan::none(),
             adversaries: AdversaryPlan::none(),
@@ -266,6 +276,9 @@ impl Scenario {
         }
         if self.snapshot_detail_every == 0 {
             return Err("snapshot_detail_every must be at least 1".into());
+        }
+        if self.wallet_consolidation == Some(0) {
+            return Err("wallet_consolidation threshold must be at least 1".into());
         }
         if self.observers.is_empty() {
             return Err("need at least one observer".into());

@@ -1,0 +1,65 @@
+//! Event sinks: streaming consumers of a run's canonical event stream.
+//!
+//! A [`World`](crate::World) run normally accumulates its artifacts in
+//! memory and hands them back as one [`SimOutput`](crate::SimOutput). An
+//! [`EventSink`] inverts that: the world pushes each block and primary-
+//! observer snapshot to the sink *in canonical stream order* — the exact
+//! time-sorted, blocks-first-on-ties interleaving the streaming auditor's
+//! `interleave` helper would produce from the finished run — and drops the
+//! records from its own memory as it goes. `cn_data::log::LogWriter` is the
+//! production implementation (a compact binary event log); tests use
+//! in-memory collectors.
+
+use cn_chain::{Block, Transaction};
+use cn_mempool::MempoolSnapshot;
+
+/// A streaming consumer of a simulation run's block/snapshot event stream.
+///
+/// Contract: `on_start` is called exactly once, before any event, with the
+/// chain's seed funding transactions (what a replay needs to rebuild the
+/// initial UTXO set). After that, `on_block`/`on_snapshot` arrive in
+/// canonical stream order: non-decreasing timestamps, and on a
+/// same-second tie the block precedes the snapshot — byte-compatible with
+/// feeding the finished run through the batch interleaver.
+pub trait EventSink {
+    /// The run is starting; `seeds` are the chain's seed funding
+    /// transactions (the pre-simulation UTXO base).
+    fn on_start(&mut self, seeds: &[Transaction]);
+
+    /// A block was connected to the chain.
+    fn on_block(&mut self, block: &Block);
+
+    /// The primary observer recorded a mempool snapshot.
+    fn on_snapshot(&mut self, snapshot: &MempoolSnapshot);
+}
+
+/// An [`EventSink`] that collects the stream in memory — the reference
+/// consumer used by equivalence tests (chunked emission must reproduce
+/// exactly what batch interleaving of a monolithic run yields).
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    /// Seed funding transactions, as passed to `on_start`.
+    pub seeds: Vec<Transaction>,
+    /// Every block, in emission order.
+    pub blocks: Vec<Block>,
+    /// Every snapshot, in emission order.
+    pub snapshots: Vec<MempoolSnapshot>,
+    /// The interleaved order: `(is_block, index into blocks or snapshots)`.
+    pub order: Vec<(bool, usize)>,
+}
+
+impl EventSink for CollectingSink {
+    fn on_start(&mut self, seeds: &[Transaction]) {
+        self.seeds = seeds.to_vec();
+    }
+
+    fn on_block(&mut self, block: &Block) {
+        self.order.push((true, self.blocks.len()));
+        self.blocks.push(block.clone());
+    }
+
+    fn on_snapshot(&mut self, snapshot: &MempoolSnapshot) {
+        self.order.push((false, self.snapshots.len()));
+        self.snapshots.push(snapshot.clone());
+    }
+}

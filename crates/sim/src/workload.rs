@@ -15,6 +15,10 @@ use std::sync::Arc;
 /// Dust threshold below which change is folded into the fee.
 const DUST: u64 = 546;
 
+/// Hard cap on extra inputs one consolidating payment may sweep, so
+/// transaction sizes stay within ordinary relay bounds.
+const MAX_CONSOLIDATION_INPUTS: usize = 12;
+
 /// Lifecycle of a spendable output.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum OutState {
@@ -95,6 +99,11 @@ pub struct Workload {
     payment_value: LogNormal,
     target_vsize: LogNormal,
     funding_counter: u64,
+    /// When set, payments from wallets holding more than this many tracked
+    /// outputs sweep extra confirmed outputs as additional inputs, keeping
+    /// the live output population bounded. `None` keeps the historical
+    /// one-input shape bit-for-bit.
+    consolidate_above: Option<usize>,
 }
 
 impl Workload {
@@ -127,7 +136,14 @@ impl Workload {
             // ~190-230; padding models multi-input/output diversity).
             target_vsize: LogNormal::with_median(250.0, 0.45),
             funding_counter: 0,
+            consolidate_above: None,
         }
+    }
+
+    /// Sets the wallet-consolidation threshold (see
+    /// [`crate::scenario::Scenario::wallet_consolidation`]).
+    pub fn set_consolidation(&mut self, threshold: Option<usize>) {
+        self.consolidate_above = threshold;
     }
 
     /// The user wallets.
@@ -249,8 +265,13 @@ impl Workload {
                     continue;
                 };
                 if meta.value.to_sat() < 3 * DUST {
-                    self.outputs.remove(&op); // dust: drop permanently
-                    list.swap_remove(i);
+                    if self.consolidate_above.is_none() {
+                        self.outputs.remove(&op); // dust: drop permanently
+                        list.swap_remove(i);
+                    }
+                    // Under consolidation the dust stays tracked — a later
+                    // sweep spends it instead of stranding it in the UTXO
+                    // set forever.
                     continue;
                 }
                 let eligible = match meta.state {
@@ -269,6 +290,36 @@ impl Workload {
         None
     }
 
+    /// Pops up to `max_extra` additional *confirmed* outputs from
+    /// `owner`'s list — the consolidation sweep. Dust is welcome here:
+    /// being swept into a spend is how it re-enters circulation. Pending
+    /// outputs are never swept, so CPFP packaging invariants are
+    /// untouched.
+    fn pop_confirmed_extras(
+        &mut self,
+        owner: Address,
+        max_extra: usize,
+    ) -> Vec<(OutPoint, OutputMeta)> {
+        let mut extras = Vec::new();
+        let Some(list) = self.per_owner.get_mut(&owner) else { return extras };
+        let mut i = list.len();
+        while i > 0 && extras.len() < max_extra {
+            i -= 1;
+            let op = list[i];
+            let Some(meta) = self.outputs.get(&op) else {
+                list.swap_remove(i); // stale (already spent)
+                continue;
+            };
+            if meta.state != OutState::Confirmed {
+                continue;
+            }
+            list.swap_remove(i);
+            let meta = self.outputs.remove(&op).expect("checked above");
+            extras.push((op, meta));
+        }
+        extras
+    }
+
     /// Applies pre-sampled [`PaymentDraws`] against the live ledger,
     /// building a payment. Returns `None` when no eligible source output
     /// exists (the caller simply skips this arrival).
@@ -282,6 +333,23 @@ impl Workload {
     ) -> Option<BuiltTx> {
         let (source_op, source) = self.pick_source(&draws.candidates, from, allow_pending)?;
         let spends_unconfirmed = source.state == OutState::PendingOk;
+        // Consolidation sweep: once the funding wallet's tracked-output
+        // list outgrows the threshold, spend extra confirmed outputs
+        // alongside the primary source. The trigger and the sweep read
+        // only serial ledger state, never the RNG, so pre-generated draws
+        // stay aligned across worker counts.
+        let extras = match self.consolidate_above {
+            Some(threshold) => {
+                let tracked = self.per_owner.get(&source.owner).map_or(0, Vec::len);
+                if tracked > threshold {
+                    let want = (tracked - threshold).min(MAX_CONSOLIDATION_INPUTS);
+                    self.pop_confirmed_extras(source.owner, want)
+                } else {
+                    Vec::new()
+                }
+            }
+            None => Vec::new(),
+        };
         let recipient = match to {
             PaymentTarget::To(a) => a,
             PaymentTarget::RandomUser => self.users[draws.recipient as usize],
@@ -303,18 +371,44 @@ impl Workload {
         // The filler input hashes its padding into existence; build it once
         // and share it between the sizing draft and the final transaction.
         let input = TxIn::with_filler(source_op.txid, source_op.vout, script_len, witness_len);
+        // Swept inputs carry ordinary single-signature unlocking data
+        // (~107 raw bytes: signature + pubkey), witness-discounted for
+        // SegWit owners.
+        let (extra_script, extra_witness) = match source.owner {
+            Address::P2wpkh(_) => (0usize, 107usize),
+            _ => (107usize, 0usize),
+        };
+        let extra_inputs: Vec<TxIn> = extras
+            .iter()
+            .map(|(op, _)| TxIn::with_filler(op.txid, op.vout, extra_script, extra_witness))
+            .collect();
 
         // First pass to learn the exact vsize (amounts don't change size);
         // the builder sizes the draft without hashing a throwaway txid.
-        let vsize = Transaction::builder()
-            .add_input(input.clone())
+        let mut draft = Transaction::builder().add_input(input.clone());
+        for extra in &extra_inputs {
+            draft = draft.add_input(extra.clone());
+        }
+        let vsize = draft
             .add_output(TxOut::to_address(Amount::from_sat(DUST), recipient))
             .add_output(TxOut::to_address(Amount::from_sat(DUST), source.owner))
             .vsize();
         let fee = fee_rate.fee_for_vsize(vsize);
 
-        let available = source.value.to_sat();
+        let available = source.value.to_sat()
+            + extras.iter().map(|(_, meta)| meta.value.to_sat()).sum::<u64>();
         if available <= fee.to_sat() + 2 * DUST {
+            if self.consolidate_above.is_some() {
+                // Put everything back: silently consuming outputs the
+                // current fee level makes unaffordable would strand them
+                // in the UTXO set forever, leaking memory over long runs.
+                // A later, cheaper arrival (or a fatter sweep) spends them.
+                self.insert_output(source_op, source.owner, source.value, source.state);
+                for (op, meta) in extras {
+                    self.insert_output(op, meta.owner, meta.value, meta.state);
+                }
+                return None;
+            }
             // Too small to pay the fee meaningfully; treat as consumed dust.
             return None;
         }
@@ -323,9 +417,11 @@ impl Workload {
         payment = payment.clamp(DUST, spendable.saturating_sub(DUST));
         let change = spendable - payment;
 
-        let mut builder = Transaction::builder()
-            .add_input(input)
-            .add_output(TxOut::to_address(Amount::from_sat(payment), recipient));
+        let mut builder = Transaction::builder().add_input(input);
+        for extra in extra_inputs {
+            builder = builder.add_input(extra);
+        }
+        builder = builder.add_output(TxOut::to_address(Amount::from_sat(payment), recipient));
         let has_change = change >= DUST;
         if has_change {
             builder = builder.add_output(TxOut::to_address(Amount::from_sat(change), source.owner));
@@ -547,6 +643,72 @@ mod tests {
         let built = pay(&mut wl, &mut rng, None, PaymentTarget::RandomUser, FeeRate::ZERO, false)
             .expect("built");
         assert_eq!(chain.utxos().fee(&built.tx).expect("valid"), Amount::ZERO);
+    }
+
+    #[test]
+    fn consolidation_bounds_the_live_output_population() {
+        let threshold = 4;
+        let mut wl = Workload::new(3);
+        wl.set_consolidation(Some(threshold));
+        let mut chain = Chain::new(Params::mainnet());
+        // 20 confirmed outputs per wallet — far above the threshold.
+        wl.seed_funding(&mut chain, 20, Amount::from_btc(1), &[]);
+        let mut rng = SimRng::seed_from_u64(9);
+        let rate = FeeRate::from_sat_per_vb(5);
+        let owner = wl.users()[0];
+        // The first payment from the bloated wallet must sweep extras.
+        let draws = wl.draw_payment(&mut rng);
+        let built = wl
+            .build_payment(&draws, Some(owner), PaymentTarget::To(owner), rate, false)
+            .expect("source available");
+        assert!(
+            built.tx.inputs().len() > 1,
+            "a wallet above the threshold must consolidate, got {} input(s)",
+            built.tx.inputs().len()
+        );
+        assert!(built.tx.inputs().len() <= 1 + MAX_CONSOLIDATION_INPUTS);
+        // Every input must be a real spendable output the chain knows.
+        let fee = chain.utxos().fee(&built.tx).expect("all inputs spendable");
+        assert_eq!(fee, built.fee);
+        // Keep paying self and confirming; the tracked population must
+        // settle near users × threshold instead of growing.
+        let mut body = vec![(*built.tx).clone()];
+        for _ in 0..60 {
+            let draws = wl.draw_payment(&mut rng);
+            if let Some(b) =
+                wl.build_payment(&draws, None, PaymentTarget::RandomUser, rate, false)
+            {
+                body.push((*b.tx).clone());
+            }
+            for tx in body.drain(..) {
+                let block = cn_chain::Block::assemble(
+                    2,
+                    cn_chain::BlockHash::ZERO,
+                    0,
+                    0,
+                    cn_chain::CoinbaseBuilder::new(0).build(),
+                    vec![tx],
+                );
+                wl.on_block_confirmed(&block);
+            }
+        }
+        let tracked = wl.spendable_count();
+        assert!(
+            tracked <= 3 * (threshold + 2),
+            "population should stay bounded, got {tracked}"
+        );
+    }
+
+    #[test]
+    fn consolidation_off_is_single_input() {
+        let (mut wl, _, mut rng) = setup();
+        for _ in 0..10 {
+            if let Some(b) =
+                pay(&mut wl, &mut rng, None, PaymentTarget::RandomUser, FeeRate::from_sat_per_vb(3), false)
+            {
+                assert_eq!(b.tx.inputs().len(), 1);
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::event::{BucketQueue, SimMillis};
 use crate::profile::SimProfile;
+use crate::sink::EventSink;
 use crate::scenario::{PoolBehavior, Scenario};
 use crate::truth::{GroundTruth, TxKind};
 use crate::workload::{BuiltTx, PaymentDraws, PaymentTarget, Workload};
@@ -91,6 +92,23 @@ pub struct SimOutput {
     pub profile: SimProfile,
 }
 
+/// What a chunked [`World::run_streamed`] run hands back: aggregate
+/// counters only — the artifacts themselves went to the
+/// [`EventSink`](crate::sink::EventSink) and were dropped from memory.
+#[derive(Debug, Clone)]
+pub struct StreamedSummary {
+    /// Blocks connected (and emitted to the sink).
+    pub blocks: u64,
+    /// Primary-observer snapshots emitted to the sink.
+    pub snapshots: u64,
+    /// Blocks found but lost to a stale-tip race (never emitted).
+    pub orphaned_blocks: usize,
+    /// Pool names, indexed as in the scenario.
+    pub pool_names: Vec<String>,
+    /// Where the run spent its time (observational).
+    pub profile: SimProfile,
+}
+
 /// Internal event kinds.
 enum Ev {
     /// A user payment is issued somewhere in the network.
@@ -166,6 +184,11 @@ pub struct World {
     downtime_ms: Vec<(SimMillis, SimMillis)>,
     orphaned_blocks: usize,
     profile: SimProfile,
+    /// When false (the chunked scale tier), ground-truth labels are not
+    /// accumulated — they are pure bookkeeping, never read back during a
+    /// run, so skipping them cannot change any emitted byte while keeping
+    /// memory flat in run length.
+    record_truth: bool,
 }
 
 /// The fault-independent construction of a [`World`]: topology, link
@@ -269,6 +292,7 @@ impl WorldCheckpoint {
         // pools — forks rebuild those per run.
         let mut chain = Chain::new(scenario.params.clone());
         let mut workload = Workload::new(scenario.users);
+        workload.set_consolidation(scenario.wallet_consolidation);
         let pool_wallets: Vec<Address> = scenario
             .pools
             .iter()
@@ -415,6 +439,7 @@ impl WorldCheckpoint {
             rng_fault,
             downtime_ms,
             orphaned_blocks: 0,
+            record_truth: true,
             profile: SimProfile {
                 observer_snapshots: vec![0; observer_count],
                 observer_degraded: vec![0; observer_count],
@@ -446,6 +471,62 @@ impl World {
 
     /// Runs the scenario to completion and returns its artifacts.
     pub fn run(mut self) -> SimOutput {
+        self.run_loop(&mut NoTap);
+
+        // The primary stream is exposed twice: as the legacy `snapshots`
+        // field and as `observer_streams[0]`. Rows are Arc-shared, so the
+        // duplicate costs reference counts, not row copies.
+        let snapshots = self.observer_streams[0].clone();
+        SimOutput {
+            pool_names: self.pools.iter().map(|p| p.name().to_string()).collect(),
+            scenario: self.scenario,
+            chain: self.chain,
+            snapshots,
+            observer_streams: self.observer_streams,
+            truth: self.truth,
+            block_miners: self.block_miners,
+            services: self.services,
+            orphaned_blocks: self.orphaned_blocks,
+            profile: self.profile,
+        }
+    }
+
+    /// Runs the scenario to completion, streaming the canonical
+    /// block/snapshot event stream to `sink` and *dropping* artifacts from
+    /// memory as they are emitted, so peak RSS is O(epoch) instead of
+    /// O(run length).
+    ///
+    /// The emitted stream is byte-compatible with feeding the equivalent
+    /// monolithic [`World::run`] output through the batch interleaver
+    /// (time-sorted, block-before-snapshot on same-second ties): the event
+    /// loop itself is shared, only the bookkeeping differs. Ground-truth
+    /// labels are not recorded (they are write-only during a run), chain
+    /// history is pruned behind a small working horizon, and fleet
+    /// observer streams are cleared every tick.
+    pub fn run_streamed(mut self, sink: &mut dyn EventSink) -> StreamedSummary {
+        self.record_truth = false;
+        sink.on_start(self.chain.seeded_transactions());
+        let mut tap = StreamTap {
+            sink,
+            pending_blocks: VecDeque::new(),
+            pending_snapshots: VecDeque::new(),
+            snapshots_emitted: 0,
+        };
+        self.run_loop(&mut tap);
+        tap.drain_older_than(Timestamp::MAX);
+        let snapshots_emitted = tap.snapshots_emitted;
+        StreamedSummary {
+            blocks: self.chain.height(),
+            snapshots: snapshots_emitted,
+            orphaned_blocks: self.orphaned_blocks,
+            pool_names: self.pools.iter().map(|p| p.name().to_string()).collect(),
+            profile: self.profile,
+        }
+    }
+
+    /// The shared event loop; `tap` observes artifact production (the
+    /// chunked path streams-and-drops, the monolithic path does nothing).
+    fn run_loop(&mut self, tap: &mut dyn RunTap) {
         let horizon_ms: SimMillis = self.scenario.duration * 1_000;
         let mut queue: BucketQueue<Ev> = BucketQueue::new();
 
@@ -518,7 +599,9 @@ impl World {
                     SimProfile::credit(&mut self.profile.admission, t.elapsed());
                 }
                 Ev::MineBlock => {
-                    self.mine_block(now_ms);
+                    if self.mine_block(now_ms) {
+                        tap.block_connected(self);
+                    }
                     let gap = Exponential::with_mean(spacing as f64 * 1_000.0)
                         .sample(&mut self.rng_mine) as u64;
                     let next = now_ms + gap.max(1_000);
@@ -603,6 +686,7 @@ impl World {
                         }
                         SimProfile::credit(&mut self.profile.fleet, t_fleet.elapsed());
                     }
+                    tap.snapshot_tick(self);
                     let next = now_ms + self.scenario.snapshot_interval * 1_000;
                     if next < horizon_ms {
                         queue.schedule(next, Ev::Snapshot);
@@ -618,23 +702,6 @@ impl World {
             self.profile.rebuilds_with_accelerate += stats.rebuilds_with_accelerate;
             self.profile.rebuilds_with_decelerate += stats.rebuilds_with_decelerate;
             self.profile.rebuilds_with_exclude += stats.rebuilds_with_exclude;
-        }
-
-        // The primary stream is exposed twice: as the legacy `snapshots`
-        // field and as `observer_streams[0]`. Rows are Arc-shared, so the
-        // duplicate costs reference counts, not row copies.
-        let snapshots = self.observer_streams[0].clone();
-        SimOutput {
-            pool_names: self.pools.iter().map(|p| p.name().to_string()).collect(),
-            scenario: self.scenario,
-            chain: self.chain,
-            snapshots,
-            observer_streams: self.observer_streams,
-            truth: self.truth,
-            block_miners: self.block_miners,
-            services: self.services,
-            orphaned_blocks: self.orphaned_blocks,
-            profile: self.profile,
         }
     }
 
@@ -799,7 +866,9 @@ impl World {
             return; // no spendable output right now; skip this arrival
         };
         let kind = if is_scam { TxKind::Scam } else { TxKind::User };
-        self.truth.record_issue(built.tx.txid(), kind, now_secs, built.fee);
+        if self.record_truth {
+            self.truth.record_issue(built.tx.txid(), kind, now_secs, built.fee);
+        }
 
         if wants_acceleration {
             let provider = self.providers[draws.provider as usize];
@@ -809,11 +878,13 @@ impl World {
             let quote = svc.quote(built.tx.vsize(), built.fee, top);
             svc.accelerate(built.tx.txid(), quote);
             drop(svc);
-            self.truth.record_acceleration(
-                built.tx.txid(),
-                self.pools[provider].name().to_string(),
-                quote,
-            );
+            if self.record_truth {
+                self.truth.record_acceleration(
+                    built.tx.txid(),
+                    self.pools[provider].name().to_string(),
+                    quote,
+                );
+            }
         }
 
         SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
@@ -863,12 +934,14 @@ impl World {
             SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
             return; // pool wallet has no confirmed funds yet
         };
-        self.truth.record_issue(
-            built.tx.txid(),
-            TxKind::SelfInterest { pool: self.pools[pool].name().to_string() },
-            now_secs,
-            built.fee,
-        );
+        if self.record_truth {
+            self.truth.record_issue(
+                built.tx.txid(),
+                TxKind::SelfInterest { pool: self.pools[pool].name().to_string() },
+                now_secs,
+                built.fee,
+            );
+        }
         SimProfile::credit(&mut self.profile.issue, issue_started.elapsed());
         self.broadcast(built, now_ms, queue, true, origin);
     }
@@ -1146,7 +1219,9 @@ impl World {
         }
     }
 
-    fn mine_block(&mut self, now_ms: SimMillis) {
+    /// Mines one block; returns true when a block was actually connected
+    /// (false for a stale-tip orphan discarded by fault injection).
+    fn mine_block(&mut self, now_ms: SimMillis) -> bool {
         let t_assembly = Instant::now();
         let now_secs = now_ms / 1_000;
         let idx = self.pool_picker.sample(&mut self.rng_mine);
@@ -1159,7 +1234,7 @@ impl World {
         if stale_prob > 0.0 && self.rng_fault.next_bool(stale_prob) {
             self.orphaned_blocks += 1;
             SimProfile::credit(&mut self.profile.assembly, t_assembly.elapsed());
-            return;
+            return false;
         }
         let hub = self.hub_of_pool[idx];
         let height = self.chain.height();
@@ -1230,6 +1305,105 @@ impl World {
         for tx in block.body() {
             self.delivery_state.remove(&tx.txid());
         }
+        true
+    }
+}
+
+/// How many recent blocks the chunked run path keeps resident. Anything
+/// older can no longer influence the simulation: `contains_tx` probes only
+/// chase duplicate deliveries that trail their transaction's confirmation
+/// by milliseconds, and block assembly reads nothing but the tip and the
+/// UTXO set — a two-dozen-block horizon (hours of simulated time) is
+/// orders of magnitude beyond any in-flight event.
+const PRUNE_KEEP_BLOCKS: u64 = 24;
+
+/// Hooks the shared event loop fires as artifacts are produced, so the
+/// chunked path can stream-and-drop state without forking the loop.
+trait RunTap {
+    /// A block was connected (it is `world.chain.blocks().last()`).
+    fn block_connected(&mut self, world: &mut World);
+    /// A snapshot tick completed (primary and fleet observers recorded).
+    fn snapshot_tick(&mut self, world: &mut World);
+}
+
+/// The monolithic path: artifacts accumulate in the world, nothing to do.
+struct NoTap;
+
+impl RunTap for NoTap {
+    fn block_connected(&mut self, _world: &mut World) {}
+    fn snapshot_tick(&mut self, _world: &mut World) {}
+}
+
+/// The chunked path: buffers the current second's events, emits everything
+/// strictly older to the sink in canonical merge order, and prunes the
+/// world's accumulated state behind the emission frontier.
+///
+/// Ordering argument: the simulation clock is monotone in milliseconds and
+/// event timestamps are full seconds, so once an event at second `t` is
+/// produced, no future block or snapshot can be stamped earlier than `t`.
+/// Draining buffered events with time < `t` (blocks before snapshots on
+/// equal stamps, matching the batch interleaver's tie-break) therefore
+/// emits a stable prefix of the canonical stream.
+struct StreamTap<'a> {
+    sink: &'a mut dyn EventSink,
+    pending_blocks: VecDeque<cn_chain::Block>,
+    pending_snapshots: VecDeque<MempoolSnapshot>,
+    snapshots_emitted: u64,
+}
+
+impl StreamTap<'_> {
+    fn drain_older_than(&mut self, cutoff: Timestamp) {
+        loop {
+            let take_block = match (self.pending_blocks.front(), self.pending_snapshots.front()) {
+                (Some(b), Some(s)) => b.header.time <= s.time,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return,
+            };
+            if take_block {
+                let Some(b) = self.pending_blocks.front() else { unreachable!() };
+                if b.header.time >= cutoff {
+                    return;
+                }
+                let b = self.pending_blocks.pop_front().expect("front exists");
+                self.sink.on_block(&b);
+            } else {
+                let Some(s) = self.pending_snapshots.front() else { unreachable!() };
+                if s.time >= cutoff {
+                    return;
+                }
+                let s = self.pending_snapshots.pop_front().expect("front exists");
+                self.sink.on_snapshot(&s);
+                self.snapshots_emitted += 1;
+            }
+        }
+    }
+}
+
+impl RunTap for StreamTap<'_> {
+    fn block_connected(&mut self, world: &mut World) {
+        let block =
+            world.chain.blocks().last().expect("a block was just connected").clone();
+        let cutoff = block.header.time;
+        self.pending_blocks.push_back(block);
+        self.drain_older_than(cutoff);
+        let keep_from = world.chain.height().saturating_sub(PRUNE_KEEP_BLOCKS);
+        world.chain.prune_below(keep_from);
+    }
+
+    fn snapshot_tick(&mut self, world: &mut World) {
+        // At most one snapshot per tick lands in the primary stream (none
+        // during an outage window); move it into the pending buffer.
+        for snap in world.observer_streams[0].drain(..) {
+            let cutoff = snap.time;
+            self.pending_snapshots.push_back(snap);
+            self.drain_older_than(cutoff);
+        }
+        // Fleet observers are not part of the logged stream; drop their
+        // rows every tick so they cannot accumulate.
+        for stream in world.observer_streams.iter_mut().skip(1) {
+            stream.clear();
+        }
     }
 }
 
@@ -1255,6 +1429,46 @@ mod tests {
         assert!(out.snapshots.len() > 100);
         assert!(out.chain.body_tx_count() > 100);
         assert_eq!(out.block_miners.len(), out.chain.height() as usize);
+    }
+
+    #[test]
+    fn streamed_run_matches_monolithic_artifacts() {
+        let out = World::new(quick_scenario(5)).run();
+        let mut sink = crate::sink::CollectingSink::default();
+        let summary = World::new(quick_scenario(5)).run_streamed(&mut sink);
+
+        assert_eq!(summary.blocks, out.chain.height());
+        assert_eq!(sink.blocks.len(), out.chain.height() as usize);
+        for (streamed, monolithic) in sink.blocks.iter().zip(out.chain.blocks()) {
+            assert_eq!(streamed.block_hash(), monolithic.block_hash());
+        }
+        assert_eq!(sink.snapshots, out.snapshots);
+        assert_eq!(summary.snapshots as usize, out.snapshots.len());
+        assert_eq!(sink.seeds.len(), out.chain.seeded_transactions().len());
+
+        // Canonical stream order: non-decreasing stamps, and within one
+        // second every block precedes every snapshot (the batch
+        // interleaver's tie-break).
+        let stamps: Vec<(Timestamp, bool)> = sink
+            .order
+            .iter()
+            .map(|&(is_block, i)| {
+                if is_block {
+                    (sink.blocks[i].header.time, true)
+                } else {
+                    (sink.snapshots[i].time, false)
+                }
+            })
+            .collect();
+        for w in stamps.windows(2) {
+            assert!(w[0].0 <= w[1].0, "stream stamps regressed: {w:?}");
+            if w[0].0 == w[1].0 {
+                assert!(
+                    !w[1].1 || w[0].1,
+                    "snapshot emitted before a same-second block: {w:?}"
+                );
+            }
+        }
     }
 
     #[test]
